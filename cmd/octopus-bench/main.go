@@ -1,0 +1,81 @@
+// Command octopus-bench regenerates the tables and figures of the paper's
+// evaluation (Figures 4–15). Each experiment builds its datasets, runs the
+// simulate-then-monitor loop against the relevant engines and prints the
+// series the paper reports.
+//
+// Usage:
+//
+//	octopus-bench -list
+//	octopus-bench -exp fig7gh [-steps 60] [-queries 15] [-sel 0.001] [-scale 1]
+//	octopus-bench -exp all
+//
+// Dataset sizes follow DESIGN.md §3: laptop-scale stand-ins whose model
+// parameters (V, M, S:V) reproduce the paper's trends. -scale (or
+// OCTOPUS_SCALE) refines all meshes towards the paper's surface ratios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"octopus/internal/bench"
+	"octopus/internal/meshgen"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	steps := flag.Int("steps", 0, "simulation time steps (0 = default 60)")
+	queries := flag.Int("queries", 0, "queries per time step (0 = default 15)")
+	sel := flag.Float64("sel", 0, "default query selectivity as a fraction (0 = default 0.001)")
+	scale := flag.Float64("scale", meshgen.Scale(), "dataset scale factor (>= 1)")
+	seed := flag.Int64("seed", 42, "workload random seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *queries > 0 {
+		cfg.QueriesPerStep = *queries
+	}
+	if *sel > 0 {
+		cfg.Selectivity = *sel
+	}
+
+	var experiments []bench.Experiment
+	if *exp == "all" {
+		experiments = bench.Experiments()
+	} else {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

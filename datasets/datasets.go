@@ -1,0 +1,73 @@
+// Package datasets exposes the synthetic evaluation datasets and their
+// simulation deformers: laptop-scale stand-ins for the paper's
+// neuroscience, earthquake and animation meshes (see DESIGN.md §3 for the
+// substitution rationale). It is the public face of the generators the
+// benchmark harness uses, so examples and downstream experiments can build
+// the same meshes.
+package datasets
+
+import (
+	"octopus"
+	"octopus/internal/meshgen"
+	"octopus/internal/meshio"
+	"octopus/internal/sim"
+)
+
+// Dataset names, grouped by family.
+const (
+	NeuroL1 = string(meshgen.NeuroL1) // five neuroscience detail levels ...
+	NeuroL2 = string(meshgen.NeuroL2)
+	NeuroL3 = string(meshgen.NeuroL3)
+	NeuroL4 = string(meshgen.NeuroL4)
+	NeuroL5 = string(meshgen.NeuroL5) // ... largest
+	EqSF2   = string(meshgen.EqSF2)   // convex earthquake meshes
+	EqSF1   = string(meshgen.EqSF1)
+	Horse   = string(meshgen.DSHorse) // deforming animation meshes
+	Face    = string(meshgen.DSFace)
+	Camel   = string(meshgen.DSCamel)
+)
+
+// List returns every dataset name.
+func List() []string {
+	ids := meshgen.AllDatasets()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = string(id)
+	}
+	return names
+}
+
+// Build generates a dataset. scale >= 1 refines the mesh (1 is the default
+// laptop scale; the OCTOPUS_SCALE environment variable sets the harness
+// default). Vertices are laid out surface-first with Hilbert secondary
+// order, the layout OCTOPUS' probe and crawl are fastest on.
+func Build(name string, scale float64) (*octopus.Mesh, error) {
+	return meshgen.Build(meshgen.Dataset(name), scale)
+}
+
+// Deformer mutates vertex positions in place once per simulation step,
+// moving every vertex (the paper's update pattern).
+type Deformer = sim.Deformer
+
+// DefaultAmplitude is a sensible per-step displacement for Deformer.
+const DefaultAmplitude = sim.DefaultAmplitude
+
+// NewDeformer returns the simulation deformer matching a dataset:
+// unpredictable smooth noise for neuroscience, convexity-preserving affine
+// motion for the earthquake meshes, and the gallop/expression/compress
+// deformations for the animation meshes.
+func NewDeformer(name string, amplitude float64) (Deformer, error) {
+	return sim.DefaultDeformer(meshgen.Dataset(name), amplitude)
+}
+
+// AnimationSteps returns the number of time steps of an animation dataset
+// sequence (48 / 9 / 53, as in the paper's Figure 14).
+func AnimationSteps(name string) (int, error) {
+	return meshgen.AnimationSteps(name)
+}
+
+// Save writes a mesh to a file in the library's binary format.
+func Save(path string, m *octopus.Mesh) error { return meshio.Save(path, m) }
+
+// Load reads a mesh written by Save, reconstructing connectivity.
+func Load(path string) (*octopus.Mesh, error) { return meshio.Load(path) }

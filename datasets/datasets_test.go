@@ -1,0 +1,78 @@
+package datasets_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"octopus"
+	"octopus/datasets"
+)
+
+func TestListAndBuild(t *testing.T) {
+	names := datasets.List()
+	if len(names) != 10 {
+		t.Fatalf("List returned %d names", len(names))
+	}
+	m, err := datasets.Build(datasets.NeuroL1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := octopus.ComputeMeshStats(m)
+	if stats.Vertices == 0 || stats.SurfaceRatio <= 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if _, err := datasets.Build("bogus", 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestDeformerRoundTrip(t *testing.T) {
+	m, err := datasets.Build(datasets.EqSF2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datasets.NewDeformer(datasets.EqSF2, datasets.DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Position(0)
+	d.Step(0, m.Positions())
+	if m.Position(0) == before {
+		t.Error("deformer did not move vertex 0")
+	}
+	if _, err := datasets.NewDeformer("bogus", 0.01); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestAnimationSteps(t *testing.T) {
+	n, err := datasets.AnimationSteps(datasets.Face)
+	if err != nil || n != 9 {
+		t.Errorf("AnimationSteps = %d, %v", n, err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := datasets.Build(datasets.NeuroL1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "neuro.octm")
+	if err := datasets.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := datasets.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != m.NumVertices() || got.NumCells() != m.NumCells() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumCells(), m.NumVertices(), m.NumCells())
+	}
+	// A loaded mesh must work as an engine substrate.
+	eng := octopus.New(got)
+	q := octopus.BoxAround(got.Position(0), 0.3)
+	if len(eng.Query(q, nil)) != len(octopus.BruteForce(got, q)) {
+		t.Error("engine on loaded mesh disagrees with ground truth")
+	}
+}

@@ -1,0 +1,41 @@
+// Package octopus is a Go implementation of OCTOPUS (Tauheed, Heinis,
+// Schürmann, Markram, Ailamaki — ICDE 2014): an execution strategy for 3-D
+// range queries over mesh datasets that are deformed in place, massively
+// and unpredictably, at every step of a scientific simulation.
+//
+// # Why not an index?
+//
+// Simulations move every vertex every time step. Any spatial index —
+// rebuilt or incrementally maintained — pays for the whole dataset per
+// step, amortized over only a handful of monitoring queries; a linear scan
+// avoids maintenance but reads the whole dataset per query. OCTOPUS
+// exploits the one thing deformation cannot change: mesh connectivity. A
+// query is answered by probing only the mesh surface (stable under
+// deformation) for seed vertices inside the box, then crawling mesh edges
+// breadth-first, never expanding past a vertex outside the box. Cost is
+// proportional to surface size plus result size — sublinear in the mesh.
+//
+// # Quick start
+//
+//	b := octopus.NewMeshBuilder(0, 0)
+//	// ... b.AddVertex / b.AddTet ...
+//	m, err := b.Build()
+//	eng := octopus.New(m)                       // builds the surface index once
+//	for step := 0; step < steps; step++ {
+//	    simulate(m.Positions())                 // your in-place deformation
+//	    eng.Step()                              // no-op: nothing to maintain
+//	    ids := eng.Query(octopus.Box(lo, hi), nil)
+//	    // ... analyze ids ...
+//	}
+//
+// For meshes that stay convex during simulation, NewCon returns
+// OCTOPUS-CON, which needs no surface index at all: a stale uniform grid
+// (built once, never updated) supplies a start vertex for a directed walk
+// into the query region.
+//
+// The package also exposes the paper's baselines (linear scan, throwaway
+// octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the
+// analytical cost model of §IV-G, and the synthetic dataset generators
+// used by the evaluation harness. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduced evaluation.
+package octopus

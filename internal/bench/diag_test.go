@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/linearscan"
+	"octopus/internal/meshgen"
+	"octopus/internal/workload"
+)
+
+// TestDiagnosePhaseCosts logs the per-phase cost structure of OCTOPUS vs
+// the scan on the reference dataset. It never fails; it exists to make
+// performance regressions visible in test logs.
+func TestDiagnosePhaseCosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostics skipped in -short mode")
+	}
+	m, err := meshgen.BuildCached(referenceNeuro(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(m, 4096, 42)
+	queries := gen.UniformQueries(200, 0.001)
+
+	o := core.New(m)
+	var out []int32
+	start := time.Now()
+	for _, q := range queries {
+		out = o.Query(q, out[:0])
+	}
+	octTime := time.Since(start)
+	s := o.Stats()
+
+	scan := linearscan.New(m)
+	start = time.Now()
+	var total int
+	for _, q := range queries {
+		out = scan.Query(q, out[:0])
+		total += len(out)
+	}
+	scanTime := time.Since(start)
+
+	t.Logf("dataset: V=%d surface=%d (S=%.3f)", m.NumVertices(), o.SurfaceSize(),
+		float64(o.SurfaceSize())/float64(m.NumVertices()))
+	t.Logf("scan:    total=%v (%.1f ns/vertex)", scanTime,
+		float64(scanTime.Nanoseconds())/float64(len(queries)*m.NumVertices()))
+	t.Logf("octopus: total=%v probe=%v walk=%v crawl=%v other=%v",
+		octTime, s.SurfaceProbe, s.DirectedWalk, s.Crawl,
+		octTime-s.SurfaceProbe-s.DirectedWalk-s.Crawl)
+	t.Logf("octopus: probed=%d (%.1f ns/probe) crawled=%d (%.1f ns/visit) walks=%d results=%d",
+		s.ProbeChecked, float64(s.SurfaceProbe.Nanoseconds())/float64(s.ProbeChecked),
+		s.CrawlVisited, float64(s.Crawl.Nanoseconds())/float64(s.CrawlVisited+1),
+		s.DirectedWalks, s.Results)
+	t.Logf("speedup: %.2fx", float64(scanTime)/float64(octTime))
+}

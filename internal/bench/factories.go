@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"octopus/internal/kdtree"
+	"octopus/internal/mesh"
+	"octopus/internal/query"
+)
+
+// kdtreeFactory returns the throwaway kd-tree extended baseline.
+func kdtreeFactory() EngineFactory {
+	return EngineFactory{Name: "KD-Tree", New: func(m *mesh.Mesh) query.Engine {
+		return kdtree.NewEngine(m, 0)
+	}}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/workload"
+)
+
+// Fig13 regenerates Figure 13: the effect of the Hilbert-order graph data
+// organization (§IV-H1) on crawl time across query selectivities. The
+// paper compares its dataset's native layout against the Hilbert-sorted
+// layout; we additionally include a shuffled layout as the worst case,
+// since our generator's native scan-line order already has some locality.
+func Fig13(cfg Config) ([]*Table, error) {
+	breakdown := &Table{
+		ID:      "fig13a",
+		Title:   "Phase times with and without Hilbert layout",
+		Columns: []string{"selectivity[%]", "layout", "surface probe", "crawling"},
+	}
+	speedup := &Table{
+		ID:      "fig13b",
+		Title:   "Crawl-time improvement of the Hilbert layout",
+		Columns: []string{"selectivity[%]", "vs shuffled[%]", "vs native[%]"},
+	}
+
+	// Private copies so the three layouts differ only in vertex order. The
+	// "native" layout keeps the surface-first partition with the
+	// generator's scan order inside each partition (the probe is not what
+	// this experiment varies); "hilbert" additionally sorts each partition
+	// along the curve (the datasets' default layout); "shuffled" is the
+	// locality-free worst case.
+	base, err := meshgen.BuildNeuron(meshgen.NeuronLevels, cfg.Scale) // raw scan order
+	if err != nil {
+		return nil, err
+	}
+	native, err := base.Renumber(base.SurfaceFirstPerm())
+	if err != nil {
+		return nil, err
+	}
+	hilbertMesh, err := base.Renumber(base.SurfaceFirstHilbertPerm(10))
+	if err != nil {
+		return nil, err
+	}
+	shuffled, err := shuffleMesh(base, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	layouts := []struct {
+		name string
+		m    *mesh.Mesh
+	}{
+		{"shuffled", shuffled},
+		{"native", native},
+		{"hilbert", hilbertMesh},
+	}
+
+	queriesPerSel := cfg.QueriesPerStep * 6
+	for _, sel := range []float64{0.0001, 0.0005, 0.001, 0.0015, 0.002} {
+		crawlTimes := make([]time.Duration, len(layouts))
+		for li, layout := range layouts {
+			gen := workload.NewGenerator(layout.m, 4096, cfg.Seed) // same seed: same workload shape
+			queries := gen.UniformQueries(queriesPerSel, sel)
+			o := core.New(layout.m)
+			var out []int32
+			for _, q := range queries {
+				out = o.Query(q, out[:0])
+			}
+			s := o.Stats()
+			crawlTimes[li] = s.Crawl
+			breakdown.AddRow(sel*100, layout.name, s.SurfaceProbe, s.Crawl)
+		}
+		vsShuffled := 100 * (float64(crawlTimes[0]-crawlTimes[2]) / float64(crawlTimes[0]+1))
+		vsNative := 100 * (float64(crawlTimes[1]-crawlTimes[2]) / float64(crawlTimes[1]+1))
+		speedup.AddRow(sel*100, vsShuffled, vsNative)
+	}
+	breakdown.Notes = append(breakdown.Notes,
+		"paper: sorting improves crawling only (probe unaffected); impact grows with selectivity")
+	speedup.Notes = append(speedup.Notes,
+		"paper reports up to ~50% crawl improvement; our native (scan-line) layout is already partially local, so the vs-native margin is smaller than vs-shuffled")
+	return []*Table{breakdown, speedup}, nil
+}
+
+// shuffleMesh rebuilds m with a random vertex permutation — the
+// locality-free worst-case layout.
+func shuffleMesh(m *mesh.Mesh, seed int64) (*mesh.Mesh, error) {
+	n := m.NumVertices()
+	r := rand.New(rand.NewSource(seed))
+	order := r.Perm(n) // order[newID] = oldID
+	inv := make([]int32, n)
+	for newID, oldID := range order {
+		inv[oldID] = int32(newID)
+	}
+	b := mesh.NewBuilder(n, m.NumCells())
+	for newID := 0; newID < n; newID++ {
+		b.AddVertex(m.Position(int32(order[newID])))
+	}
+	for i := range m.Cells() {
+		c := &m.Cells()[i]
+		if c.Dead {
+			continue
+		}
+		if c.Type == mesh.Tetrahedron {
+			b.AddTet(inv[c.Verts[0]], inv[c.Verts[1]], inv[c.Verts[2]], inv[c.Verts[3]])
+		} else {
+			var v [8]int32
+			for k := 0; k < 8; k++ {
+				v[k] = inv[c.Verts[k]]
+			}
+			b.AddHex(v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"octopus/internal/core"
+	"octopus/internal/grid"
+	"octopus/internal/linearscan"
+	"octopus/internal/lurtree"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/octree"
+	"octopus/internal/query"
+	"octopus/internal/qutrade"
+	"octopus/internal/sim"
+	"octopus/internal/workload"
+)
+
+// StandardEngines returns the factory list of the paper's Figure 6
+// comparison: OCTOPUS, the linear scan, the per-step-rebuilt octree, the
+// LUR-Tree and QU-Trade.
+func StandardEngines() []EngineFactory {
+	return []EngineFactory{
+		{Name: "OCTOPUS", New: func(m *mesh.Mesh) query.Engine { return core.New(m) }},
+		{Name: "LinearScan", New: func(m *mesh.Mesh) query.Engine { return linearscan.New(m) }},
+		{Name: "OCTREE", New: func(m *mesh.Mesh) query.Engine { return octree.NewEngine(m, 0) }},
+		{Name: "LUR-Tree", New: func(m *mesh.Mesh) query.Engine { return lurtree.New(m, 0) }},
+		{Name: "QU-Trade", New: func(m *mesh.Mesh) query.Engine { return qutrade.New(m, 0, 0) }},
+	}
+}
+
+// ExtendedEngines appends baselines beyond the paper's five (the LU-Grid
+// style lazily updated grid and the throwaway kd-tree), for the extended
+// comparison.
+func ExtendedEngines() []EngineFactory {
+	return append(StandardEngines(),
+		EngineFactory{Name: "LU-Grid", New: func(m *mesh.Mesh) query.Engine {
+			return grid.NewLUEngine(m, 4096)
+		}},
+		kdtreeFactory(),
+	)
+}
+
+// Fig6 regenerates Figure 6: total query response time (a) and memory
+// overhead (b) of all approaches on the four neuroscience microbenchmarks,
+// using the most detailed neuron dataset, 60 time steps.
+func Fig6(cfg Config) ([]*Table, error) {
+	return fig6With(cfg, StandardEngines(), "fig6")
+}
+
+// Fig6Extended is Fig6 including the extended baselines.
+func Fig6Extended(cfg Config) ([]*Table, error) {
+	return fig6With(cfg, ExtendedEngines(), "fig6x")
+}
+
+func fig6With(cfg Config, factories []EngineFactory, id string) ([]*Table, error) {
+	perf := &Table{
+		ID:      id + "a",
+		Title:   "Query response time per microbenchmark (includes maintenance)",
+		Columns: append([]string{"benchmark"}, engineNames(factories)...),
+	}
+	mem := &Table{
+		ID:      id + "b",
+		Title:   "Memory overhead per microbenchmark [MB]",
+		Columns: append([]string{"benchmark"}, engineNames(factories)...),
+	}
+	speed := &Table{
+		ID:      id + "s",
+		Title:   "OCTOPUS speedup vs LinearScan",
+		Columns: []string{"benchmark", "speedup[x]"},
+	}
+
+	for _, mb := range workload.PaperBenchmarks() {
+		m, err := meshgen.BuildCached(largestNeuro(), cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		deformer, err := sim.DefaultDeformer(largestNeuro(), sim.DefaultAmplitude)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewGenerator(m, 4096, cfg.Seed)
+		res := Run(m, deformer, cfg.Steps, MicrobenchmarkStream(gen, mb), factories)
+
+		perfRow := []interface{}{mb.ID}
+		memRow := []interface{}{mb.ID}
+		for _, er := range res.Engines {
+			perfRow = append(perfRow, er.TotalResponse)
+			memRow = append(memRow, MB(er.FootprintBytes))
+		}
+		perf.AddRow(perfRow...)
+		mem.AddRow(memRow...)
+		speed.AddRow(mb.ID, Speedup(res.Engines[0], res.Engines[1]))
+	}
+	perf.Notes = append(perf.Notes,
+		"paper: OCTOPUS fastest on every benchmark (7.3-9.2x vs scan); scan beats all index approaches")
+	mem.Notes = append(mem.Notes,
+		"paper: scan < OCTOPUS < OCTREE < LUR-Tree/QU-Trade")
+	return []*Table{perf, mem, speed}, nil
+}
+
+func engineNames(fs []EngineFactory) []string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// largestNeuro returns the most detailed neuroscience dataset, the
+// paper's "33GB dataset" stand-in.
+func largestNeuro() meshgen.Dataset { return meshgen.NeuroL5 }

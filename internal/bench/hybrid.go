@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"octopus/internal/core"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+	"octopus/internal/workload"
+)
+
+// HybridCrossover extends the paper's Figure 7(g,h) selectivity sweep with
+// the model-routed hybrid engine of §IV-G: below Equation 6's break-even
+// selectivity the hybrid should track OCTOPUS, above it the linear scan —
+// i.e. it should never be the slowest engine by more than the routing
+// overhead.
+func HybridCrossover(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "hybrid",
+		Title: "Model-routed hybrid across selectivities (extension of fig7gh)",
+		Columns: []string{"selectivity[%]", "OCTOPUS", "LinearScan", "Hybrid",
+			"routed to octopus", "routed to scan"},
+	}
+
+	id := referenceNeuro()
+	small, err := meshgen.BuildCached(meshgen.NeuroL1, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	consts := core.Calibrate(small)
+
+	// Sweep across the break-even point: moderate selectivities where
+	// OCTOPUS wins, very large ones where the scan must win.
+	for _, sel := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
+		m, err := meshgen.BuildCached(id, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		deformer, err := sim.DefaultDeformer(id, sim.DefaultAmplitude)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewGenerator(m, 4096, cfg.Seed)
+
+		var hyb *core.Hybrid
+		factories := []EngineFactory{
+			{Name: "OCTOPUS", New: func(m *mesh.Mesh) query.Engine { return core.New(m) }},
+			StandardEngines()[1], // LinearScan
+			{Name: "Hybrid", New: func(m *mesh.Mesh) query.Engine {
+				hyb = core.NewHybrid(m, 4096, consts)
+				return hyb
+			}},
+		}
+		res := Run(m, deformer, cfg.Steps,
+			UniformQueryStream(gen, cfg.QueriesPerStep, sel), factories)
+		oct, scan := hyb.Routed()
+		t.AddRow(sel*100,
+			res.Engines[0].TotalResponse, res.Engines[1].TotalResponse,
+			res.Engines[2].TotalResponse, oct, scan)
+	}
+	t.Notes = append(t.Notes,
+		"the hybrid should approximate min(OCTOPUS, scan) on both sides of Equation 6's break-even")
+	return []*Table{t}, nil
+}

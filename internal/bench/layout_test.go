@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"octopus/internal/meshgen"
+	"testing"
+)
+
+// TestSurfaceFirstLayout verifies datasets ship with the surface-first
+// vertex layout the probe fast path depends on.
+func TestSurfaceFirstLayout(t *testing.T) {
+	m, err := meshgen.BuildCached(referenceNeuro(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := m.SurfaceVertices()
+	dense := true
+	for i, v := range sv {
+		if v != int32(i) {
+			dense = false
+			t.Logf("first mismatch at %d: %d", i, v)
+			break
+		}
+	}
+	t.Logf("surface=%d dense=%v first=%v last=%v", len(sv), dense, sv[0], sv[len(sv)-1])
+}

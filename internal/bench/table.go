@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table is one reproduced paper artifact (a table, or the data series
+// behind a figure panel), in a render-friendly and test-friendly form.
+type Table struct {
+	// ID names the artifact, e.g. "fig7b".
+	ID string
+	// Title describes it, e.g. "Speedup vs mesh detail (fixed query size)".
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats and paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Cell returns the cell at (row, col) for test assertions.
+func (t *Table) Cell(row, col int) string {
+	return t.Rows[row][col]
+}
+
+// MB formats bytes as megabytes.
+func MB(bytes int64) float64 { return float64(bytes) / (1 << 20) }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/grid"
+	"octopus/internal/mesh"
+)
+
+// DefaultGridCells is the grid resolution the paper settles on for
+// OCTOPUS-CON after the Figure 9(c)/(d) trade-off study ("for the
+// experiments ... we use a 1000 cell grid").
+const DefaultGridCells = 1000
+
+// Con is OCTOPUS-CON (§IV-F), the variant for meshes that stay convex
+// during simulation. Convexity gives internal reachability of the whole
+// mesh, so no surface index is needed: any vertex reaches the query region
+// by directed walk, and a stale uniform grid — built once, never updated —
+// supplies a starting vertex near the query center. Staleness can only
+// lengthen the walk, never corrupt results, which is the fundamental
+// difference from using an outdated spatial index for the query itself.
+type Con struct {
+	m    *mesh.Mesh
+	grid *grid.Grid
+
+	crawler
+	seeds []int32
+
+	stats Stats
+}
+
+// NewCon builds OCTOPUS-CON over m with a start-point grid of
+// approximately gridCells cells (<= 0 uses DefaultGridCells). The grid
+// indexes the positions at build time and is never maintained.
+func NewCon(m *mesh.Mesh, gridCells int) *Con {
+	if gridCells <= 0 {
+		gridCells = DefaultGridCells
+	}
+	return &Con{
+		m:       m,
+		grid:    grid.Build(m, gridCells),
+		crawler: newCrawler(m),
+	}
+}
+
+// Name implements query.Engine.
+func (c *Con) Name() string { return "OCTOPUS-CON" }
+
+// Step implements query.Engine: nothing to maintain; the grid is
+// deliberately left stale.
+func (c *Con) Step() {}
+
+// Query implements query.Engine: stale-grid start-point lookup, directed
+// walk, then crawl.
+func (c *Con) Query(q geom.AABB, out []int32) []int32 {
+	c.stats.Queries++
+	before := len(out)
+
+	t0 := time.Now()
+	start, ok := c.grid.NearestPopulated(q.Center())
+	t1 := time.Now()
+	c.stats.SurfaceProbe += t1.Sub(t0) // grid lookup plays the probe's role
+
+	c.seeds = c.seeds[:0]
+	if ok {
+		c.stats.DirectedWalks++
+		if seed, found := c.directedWalk(q, start); found {
+			c.seeds = append(c.seeds, seed)
+		}
+	}
+	t2 := time.Now()
+	c.stats.DirectedWalk += t2.Sub(t1)
+
+	out = c.crawl(q, c.seeds, out)
+	c.stats.Crawl += time.Since(t2)
+	c.stats.Results += int64(len(out) - before)
+	return out
+}
+
+// MemoryFootprint implements query.Engine: the stale grid plus crawl
+// structures.
+func (c *Con) MemoryFootprint() int64 {
+	return c.grid.MemoryBytes() + c.crawler.memoryBytes() + int64(cap(c.seeds))*4
+}
+
+// GridMemoryBytes returns the stale grid's footprint alone (Figure 9(d)).
+func (c *Con) GridMemoryBytes() int64 { return c.grid.MemoryBytes() }
+
+// Stats returns the accumulated phase statistics.
+func (c *Con) Stats() Stats {
+	s := c.stats
+	s.WalkVisited = c.walkVisited
+	s.CrawlVisited = c.crawlVisited
+	return s
+}
+
+// ResetStats clears the accumulated statistics.
+func (c *Con) ResetStats() {
+	c.stats = Stats{}
+	c.walkVisited = 0
+	c.crawlVisited = 0
+}

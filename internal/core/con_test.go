@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func TestConMatchesBruteForce(t *testing.T) {
+	m := buildBox(t, 10)
+	c := NewCon(m, 0)
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.03+r.Float64()*0.25)
+		checkOracle(t, "con", c.Query(q, nil), query.BruteForce(m, q))
+	}
+}
+
+func TestConStaleGridUnderAffineSimulation(t *testing.T) {
+	m := buildBox(t, 8)
+	c := NewCon(m, 1000)
+	d := &sim.AffineDeformer{
+		Pivot:     geom.V(0.5, 0.5, 0.5),
+		MaxScale:  0.03,
+		MaxRotate: 0.02,
+		MaxShift:  0.01,
+		Seed:      2,
+	}
+	s := sim.New(m, d)
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 15; step++ {
+		s.Step()
+		c.Step() // must stay a no-op: the grid is deliberately stale
+		for i := 0; i < 8; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.02+r.Float64()*0.2)
+			checkOracle(t, "con-sim", c.Query(q, nil), query.BruteForce(m, q))
+		}
+	}
+}
+
+func TestConDisjointQueryEmpty(t *testing.T) {
+	m := buildBox(t, 6)
+	c := NewCon(m, 0)
+	if got := c.Query(geom.Box(geom.V(7, 7, 7), geom.V(8, 8, 8)), nil); len(got) != 0 {
+		t.Errorf("disjoint query = %d results", len(got))
+	}
+}
+
+func TestConStatsAndMemory(t *testing.T) {
+	m := buildBox(t, 8)
+	c := NewCon(m, 1000)
+	q := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.2)
+	c.Query(q, nil)
+	s := c.Stats()
+	if s.Queries != 1 || s.DirectedWalks != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.CrawlVisited == 0 {
+		t.Error("no crawl recorded")
+	}
+	if c.MemoryFootprint() <= 0 || c.GridMemoryBytes() <= 0 {
+		t.Error("footprint not positive")
+	}
+	c.ResetStats()
+	if c.Stats().Queries != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// TestConFinerGridShortensWalk reproduces the Figure 9(c) trend: a finer
+// start-point grid places the walk start closer to the query, reducing the
+// vertices accessed during directed walks.
+func TestConFinerGridShortensWalk(t *testing.T) {
+	m := buildBox(t, 14)
+	coarse := NewCon(m, 8)
+	fine := NewCon(m, 5832)
+	r := rand.New(rand.NewSource(4))
+	queries := make([]geom.AABB, 40)
+	for i := range queries {
+		queries[i] = geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.05)
+	}
+	for _, q := range queries {
+		coarse.Query(q, nil)
+		fine.Query(q, nil)
+	}
+	cw, fw := coarse.Stats().WalkVisited, fine.Stats().WalkVisited
+	if fw >= cw {
+		t.Errorf("fine grid walk (%d) not shorter than coarse (%d)", fw, cw)
+	}
+}

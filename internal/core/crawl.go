@@ -1,0 +1,179 @@
+package core
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// crawler implements the two mesh-graph phases shared by OCTOPUS and
+// OCTOPUS-CON: the breadth-first crawl (§IV-B) and the directed walk
+// (§IV-D). It owns the reusable visited set and BFS queue so queries do
+// not allocate.
+type crawler struct {
+	m       *mesh.Mesh
+	visited *idSet
+	queue   []int32
+	heap    []heapItem // best-first walk frontier
+
+	// counters (cumulative across queries)
+	crawlVisited int64 // vertices expanded by the BFS
+	walkVisited  int64 // vertices accessed by directed walks
+}
+
+func newCrawler(m *mesh.Mesh) crawler {
+	return crawler{m: m, visited: newIDSet(), queue: make([]int32, 0, 256)}
+}
+
+// crawl runs the BFS from seeds (each of which must lie inside q),
+// appending every vertex of the query result to out. Edges are never
+// followed past a vertex outside q — the paper's stop criterion that makes
+// crawl cost proportional to the result size, not the dataset size.
+func (c *crawler) crawl(q geom.AABB, seeds []int32, out []int32) []int32 {
+	c.visited.reset()
+	c.queue = c.queue[:0]
+	for _, s := range seeds {
+		if c.visited.add(s) {
+			c.queue = append(c.queue, s)
+		}
+	}
+	pos := c.m.Positions()
+	for head := 0; head < len(c.queue); head++ {
+		v := c.queue[head]
+		out = append(out, v)
+		for _, w := range c.m.Neighbors(v) {
+			// Mark before testing: every vertex pays the position gather
+			// and containment test at most once, not once per incident
+			// edge. Out-of-box vertices enter the visited set but never
+			// the queue, so the result stays exact and the stop criterion
+			// (never expand past an outside vertex) is unchanged.
+			if c.visited.add(w) && q.Contains(pos[w]) {
+				c.queue = append(c.queue, w)
+			}
+		}
+	}
+	c.crawlVisited += int64(len(c.queue))
+	return out
+}
+
+// directedWalk walks from start towards q and returns the first vertex
+// found inside q. The fast path is Algorithm 1's greedy descent: move to
+// the neighbour strictly closest to the query box. On convex meshes the
+// descent provably reaches the box; on non-convex meshes it can stall in a
+// local minimum of the graph distance, a case the paper treats as "query
+// does not intersect the mesh". To keep results exact on arbitrary
+// geometry, a stall falls back to a best-first search (a strengthening
+// over the paper, documented in DESIGN.md): it finds the box whenever any
+// path exists, at the cost of exploring the component when the query truly
+// is empty — a rare event under vertex-centred workloads, and never worse
+// than the linear scan the walk replaces.
+func (c *crawler) directedWalk(q geom.AABB, start int32) (seed int32, ok bool) {
+	return c.walk(q, start, true)
+}
+
+// greedyWalk is directedWalk without the exactness fallback: a stall gives
+// up, as the paper's Algorithm 1 does. Approximate query modes use it —
+// they already trade accuracy for time, and the best-first fallback's cost
+// would defeat the point of sampling the surface.
+func (c *crawler) greedyWalk(q geom.AABB, start int32) (seed int32, ok bool) {
+	return c.walk(q, start, false)
+}
+
+func (c *crawler) walk(q geom.AABB, start int32, exact bool) (seed int32, ok bool) {
+	pos := c.m.Positions()
+	cur := start
+	curDist := q.Dist2(pos[cur])
+	c.walkVisited++
+	for curDist > 0 {
+		best := int32(-1)
+		bestDist := curDist
+		for _, w := range c.m.Neighbors(cur) {
+			if d := q.Dist2(pos[w]); d < bestDist {
+				best, bestDist = w, d
+			}
+		}
+		if best < 0 {
+			if exact {
+				return c.bestFirstWalk(q, cur)
+			}
+			return 0, false
+		}
+		cur, curDist = best, bestDist
+		c.walkVisited++
+	}
+	return cur, true
+}
+
+// bestFirstWalk resumes a stalled directed walk: vertices are expanded in
+// order of increasing distance to q until one inside q is found or the
+// connected component is exhausted (query disjoint from this part of the
+// mesh).
+func (c *crawler) bestFirstWalk(q geom.AABB, start int32) (int32, bool) {
+	pos := c.m.Positions()
+	c.visited.reset()
+	c.heap = c.heap[:0]
+	c.visited.add(start)
+	c.heapPush(heapItem{dist: q.Dist2(pos[start]), v: start})
+	for len(c.heap) > 0 {
+		item := c.heapPop()
+		c.walkVisited++
+		if item.dist == 0 {
+			return item.v, true
+		}
+		for _, w := range c.m.Neighbors(item.v) {
+			if c.visited.add(w) {
+				c.heapPush(heapItem{dist: q.Dist2(pos[w]), v: w})
+			}
+		}
+	}
+	return 0, false
+}
+
+// heapItem is a frontier entry of the best-first walk.
+type heapItem struct {
+	dist float64
+	v    int32
+}
+
+// heapPush adds an item to the min-heap ordered by dist.
+func (c *crawler) heapPush(it heapItem) {
+	c.heap = append(c.heap, it)
+	i := len(c.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.heap[p].dist <= c.heap[i].dist {
+			break
+		}
+		c.heap[p], c.heap[i] = c.heap[i], c.heap[p]
+		i = p
+	}
+}
+
+// heapPop removes the minimum item.
+func (c *crawler) heapPop() heapItem {
+	top := c.heap[0]
+	last := len(c.heap) - 1
+	c.heap[0] = c.heap[last]
+	c.heap = c.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(c.heap) && c.heap[l].dist < c.heap[smallest].dist {
+			smallest = l
+		}
+		if r < len(c.heap) && c.heap[r].dist < c.heap[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		c.heap[i], c.heap[smallest] = c.heap[smallest], c.heap[i]
+		i = smallest
+	}
+}
+
+// memoryBytes reports the crawl structures' footprint: visited set, BFS
+// queue and walk frontier.
+func (c *crawler) memoryBytes() int64 {
+	return c.visited.memoryBytes() + int64(cap(c.queue))*4 + int64(cap(c.heap))*16
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/histogram"
+	"octopus/internal/linearscan"
+	"octopus/internal/mesh"
+)
+
+// Hybrid puts the analytical model to the use the paper proposes
+// ("Equations 5 and 6 thus help us to decide when to use OCTOPUS given
+// that we know workload characteristics and the runtime constants",
+// §IV-G): per query it estimates the selectivity with a spatial histogram
+// and routes the query to OCTOPUS when the estimate is below the
+// break-even selectivity of Equation 6, to the linear scan otherwise.
+//
+// The histogram is built once, like OCTOPUS-CON's grid: deformation makes
+// it stale, but a stale density estimate still separates "small" from
+// "huge" queries, and a wrong routing decision costs performance, never
+// correctness.
+type Hybrid struct {
+	oct  *Octopus
+	scan *linearscan.Scan
+	hist *histogram.Histogram
+
+	breakEven float64
+	toOctopus int64
+	toScan    int64
+}
+
+// NewHybrid builds the hybrid engine: OCTOPUS, a linear scan, a
+// histogram with ~histCells cells, and a break-even selectivity from the
+// calibrated machine constants and the dataset's S and M.
+func NewHybrid(m *mesh.Mesh, histCells int, consts Constants) *Hybrid {
+	if histCells <= 0 {
+		histCells = 4096
+	}
+	oct := New(m)
+	S := float64(oct.SurfaceSize()) / float64(max(1, m.NumVertices()))
+	return &Hybrid{
+		oct:       oct,
+		scan:      linearscan.New(m),
+		hist:      histogram.Build(m.Positions(), m.Bounds(), histCells),
+		breakEven: BreakEvenSelectivity(S, m.AvgDegree(), consts),
+	}
+}
+
+// Name implements query.Engine.
+func (h *Hybrid) Name() string { return "OCTOPUS-Hybrid" }
+
+// Step implements query.Engine; neither routed engine needs maintenance.
+func (h *Hybrid) Step() {}
+
+// BreakEven returns the routing threshold (Equation 6).
+func (h *Hybrid) BreakEven() float64 { return h.breakEven }
+
+// Routed returns how many queries went to each side.
+func (h *Hybrid) Routed() (octopus, scan int64) { return h.toOctopus, h.toScan }
+
+// Query implements query.Engine.
+func (h *Hybrid) Query(q geom.AABB, out []int32) []int32 {
+	if h.hist.Selectivity(q) >= h.breakEven {
+		h.toScan++
+		return h.scan.Query(q, out)
+	}
+	h.toOctopus++
+	return h.oct.Query(q, out)
+}
+
+// MemoryFootprint implements query.Engine.
+func (h *Hybrid) MemoryFootprint() int64 {
+	return h.oct.MemoryFootprint() + h.hist.MemoryBytes()
+}
+
+// ApplySurfaceDelta forwards restructuring deltas to the OCTOPUS side.
+func (h *Hybrid) ApplySurfaceDelta(d mesh.SurfaceDelta) { h.oct.ApplySurfaceDelta(d) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

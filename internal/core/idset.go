@@ -1,0 +1,84 @@
+package core
+
+// idSet is an open-addressing hash set of vertex ids with O(1) epoch-based
+// clearing, used as the crawl's visited set.
+//
+// The paper's memory accounting (Figure 10(b)) shows OCTOPUS' traversal
+// footprint growing with the number of query results, not with the dataset
+// — so the visited structure must be a hash table sized by the result set,
+// not a dataset-sized bitmap. Capacity grows to roughly 2× the largest
+// result set seen and is reported as footprint.
+type idSet struct {
+	keys  []int32
+	marks []uint32
+	epoch uint32
+	size  int
+}
+
+const minIDSetCap = 64
+
+func newIDSet() *idSet {
+	return &idSet{
+		keys:  make([]int32, minIDSetCap),
+		marks: make([]uint32, minIDSetCap),
+		epoch: 1,
+	}
+}
+
+// reset clears the set in O(1) by bumping the epoch.
+func (s *idSet) reset() {
+	s.epoch++
+	s.size = 0
+	if s.epoch == 0 { // wrapped after ~4G queries: hard clear
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// add inserts v, reporting whether it was absent.
+func (s *idSet) add(v int32) bool {
+	if s.size*10 >= len(s.keys)*7 {
+		s.grow()
+	}
+	mask := uint32(len(s.keys) - 1)
+	i := (uint32(v) * 2654435769) & mask
+	for {
+		if s.marks[i] != s.epoch {
+			s.marks[i] = s.epoch
+			s.keys[i] = v
+			s.size++
+			return true
+		}
+		if s.keys[i] == v {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles capacity, re-inserting the current epoch's keys.
+func (s *idSet) grow() {
+	oldKeys, oldMarks := s.keys, s.marks
+	s.keys = make([]int32, len(oldKeys)*2)
+	s.marks = make([]uint32, len(oldMarks)*2)
+	mask := uint32(len(s.keys) - 1)
+	for i, m := range oldMarks {
+		if m != s.epoch {
+			continue
+		}
+		v := oldKeys[i]
+		j := (uint32(v) * 2654435769) & mask
+		for s.marks[j] == s.epoch {
+			j = (j + 1) & mask
+		}
+		s.marks[j] = s.epoch
+		s.keys[j] = v
+	}
+}
+
+// memoryBytes returns the set's current footprint.
+func (s *idSet) memoryBytes() int64 {
+	return int64(len(s.keys))*4 + int64(len(s.marks))*4
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIDSetAddAndDuplicate(t *testing.T) {
+	s := newIDSet()
+	if !s.add(5) {
+		t.Error("first add returned false")
+	}
+	if s.add(5) {
+		t.Error("duplicate add returned true")
+	}
+	if !s.add(6) {
+		t.Error("distinct add returned false")
+	}
+	if s.size != 2 {
+		t.Errorf("size = %d", s.size)
+	}
+}
+
+func TestIDSetReset(t *testing.T) {
+	s := newIDSet()
+	for i := int32(0); i < 100; i++ {
+		s.add(i)
+	}
+	s.reset()
+	if s.size != 0 {
+		t.Errorf("size after reset = %d", s.size)
+	}
+	for i := int32(0); i < 100; i++ {
+		if !s.add(i) {
+			t.Fatalf("add(%d) after reset returned false", i)
+		}
+	}
+}
+
+func TestIDSetGrow(t *testing.T) {
+	s := newIDSet()
+	const n = 10000
+	for i := int32(0); i < n; i++ {
+		if !s.add(i * 7) {
+			t.Fatalf("add(%d) returned false", i*7)
+		}
+	}
+	if s.size != n {
+		t.Errorf("size = %d, want %d", s.size, n)
+	}
+	// All still present.
+	for i := int32(0); i < n; i++ {
+		if s.add(i * 7) {
+			t.Fatalf("value %d lost during growth", i*7)
+		}
+	}
+	if s.memoryBytes() <= 0 {
+		t.Error("memoryBytes not positive")
+	}
+}
+
+func TestIDSetEpochWrap(t *testing.T) {
+	s := newIDSet()
+	s.add(1)
+	s.epoch = ^uint32(0) // next reset wraps
+	s.reset()
+	if s.epoch == 0 {
+		t.Fatal("epoch stayed at zero after wrap")
+	}
+	if !s.add(1) {
+		t.Error("stale entry survived epoch wrap")
+	}
+}
+
+func TestIDSetRandomizedAgainstMap(t *testing.T) {
+	s := newIDSet()
+	r := rand.New(rand.NewSource(1))
+	for round := 0; round < 20; round++ {
+		s.reset()
+		ref := make(map[int32]bool)
+		for i := 0; i < 2000; i++ {
+			v := int32(r.Intn(3000))
+			want := !ref[v]
+			ref[v] = true
+			if got := s.add(v); got != want {
+				t.Fatalf("round %d: add(%d) = %v, want %v", round, v, got, want)
+			}
+		}
+		if s.size != len(ref) {
+			t.Fatalf("round %d: size %d, want %d", round, s.size, len(ref))
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package core implements OCTOPUS, the paper's range-query execution
+// strategy for dynamic meshes, plus its convex-mesh variant OCTOPUS-CON
+// and the analytical cost model of §IV-G.
+//
+// OCTOPUS answers a range query in three phases (§IV-A):
+//
+//  1. Surface probe — scan the surface index (the vertices on boundary
+//     faces; connectivity-derived, hence stable under deformation) and
+//     collect those inside the query box as crawl seeds.
+//  2. Directed walk — if no surface vertex is inside the box (query fully
+//     interior to the mesh, or disjoint from it), greedily walk from the
+//     closest surface vertex towards the box to find a seed.
+//  3. Crawling — BFS along mesh edges from the seeds, never expanding past
+//     a vertex outside the box.
+//
+// Because every phase reads positions directly from the live mesh, the
+// strategy needs no maintenance when the simulation moves vertices — the
+// property that lets it beat both rebuilt and incrementally-maintained
+// indexes under the paper's massive-update workload.
+package core
+
+import (
+	"math"
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Octopus is the general (non-convex-safe) OCTOPUS engine.
+type Octopus struct {
+	m *mesh.Mesh
+
+	// surface is the surface index: a packed array of the vertex ids on
+	// the mesh surface, kept in ascending id order so the probe walks the
+	// position array near-sequentially (random probe order costs several
+	// times more memory bandwidth and would erase the win over the scan).
+	surface []int32
+	// surfaceSlot maps a surface vertex id to its slot in surface,
+	// enabling O(1) insert/delete maintenance under restructuring
+	// (§IV-E2).
+	surfaceSlot map[int32]int32
+
+	// approx is the fraction of the surface probed per query; 1 = exact.
+	approx float64
+	// probeOffset rotates the sampling phase between queries so
+	// approximate probes see different strided subsets.
+	probeOffset int
+	// denseSurface is true when surface == [0, len) — the surface-first
+	// layout — enabling the probe's direct position-scan fast path.
+	denseSurface bool
+
+	crawler
+	seeds []int32
+
+	stats Stats
+}
+
+// Stats accumulates per-phase timings and counters across queries — the
+// instrumentation behind the paper's Figures 9(b), 9(c) and 10(a).
+type Stats struct {
+	Queries       int64
+	Results       int64
+	SurfaceProbe  time.Duration
+	DirectedWalk  time.Duration
+	Crawl         time.Duration
+	ProbeChecked  int64 // surface vertices tested
+	WalkVisited   int64 // vertices accessed during directed walks
+	CrawlVisited  int64 // vertices expanded by the BFS
+	DirectedWalks int64 // queries that needed the walk
+}
+
+// Total returns the summed phase time.
+func (s Stats) Total() time.Duration { return s.SurfaceProbe + s.DirectedWalk + s.Crawl }
+
+// New builds the OCTOPUS engine over m: it extracts the mesh surface once
+// (the paper's one-time preprocessing; 62 s for the 33 GB dataset there)
+// and allocates the reusable crawl structures.
+func New(m *mesh.Mesh) *Octopus {
+	o := &Octopus{
+		m:       m,
+		approx:  1,
+		crawler: newCrawler(m),
+	}
+	o.surface = m.SurfaceVertices() // ascending order: near-sequential probe
+	o.surfaceSlot = make(map[int32]int32, len(o.surface))
+	for i, v := range o.surface {
+		o.surfaceSlot[v] = int32(i)
+	}
+	o.refreshDense()
+	return o
+}
+
+// refreshDense detects the surface-first vertex layout (surface ids form
+// the prefix 0..len-1), which lets the probe scan the position array
+// directly instead of gathering through the id array. Dataset generators
+// emit this layout; restructuring deltas may break it.
+func (o *Octopus) refreshDense() {
+	o.denseSurface = true
+	for i, v := range o.surface {
+		if v != int32(i) {
+			o.denseSurface = false
+			return
+		}
+	}
+}
+
+// Name implements query.Engine.
+func (o *Octopus) Name() string { return "OCTOPUS" }
+
+// Step implements query.Engine. Mesh deformation changes no connectivity,
+// so OCTOPUS has nothing to maintain — the core of its advantage.
+func (o *Octopus) Step() {}
+
+// SetApproximation sets the fraction of surface vertices probed per query
+// (§IV-H2). frac is clamped to (0, 1]; 1 restores exact execution.
+func (o *Octopus) SetApproximation(frac float64) {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	o.approx = frac
+}
+
+// SurfaceSize returns the number of vertices in the surface index.
+func (o *Octopus) SurfaceSize() int { return len(o.surface) }
+
+// Query implements query.Engine, executing Algorithm 1.
+func (o *Octopus) Query(q geom.AABB, out []int32) []int32 {
+	o.stats.Queries++
+	before := len(out)
+
+	// Phase 1: surface probe. The surface array is in ascending id order,
+	// so both the exact pass and the strided sample walk the position
+	// array forward — sequential enough for hardware prefetching. The
+	// common pass performs only the containment test (the CS unit cost of
+	// the analytical model); the closest-vertex scan for the directed walk
+	// runs as a second pass only in the rare no-seed case.
+	t0 := time.Now()
+	o.seeds = o.seeds[:0]
+	pos := o.m.Positions()
+	stride := 1
+	if o.approx < 1 {
+		stride = int(1 / o.approx)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	probed := int64(0)
+	start := 0
+	if stride > 1 {
+		start = o.probeOffset % stride
+		o.probeOffset++
+	}
+	if o.denseSurface && stride == 1 {
+		// Surface-first layout: the surface index is the id prefix, so the
+		// probe is a pure sequential scan of pos[:len(surface)].
+		for i, p := range pos[:len(o.surface)] {
+			if q.Contains(p) {
+				o.seeds = append(o.seeds, int32(i))
+			}
+		}
+		probed = int64(len(o.surface))
+	} else {
+		for idx := start; idx < len(o.surface); idx += stride {
+			v := o.surface[idx]
+			probed++
+			if q.Contains(pos[v]) {
+				o.seeds = append(o.seeds, v)
+			}
+		}
+	}
+	minVertex := int32(-1)
+	if len(o.seeds) == 0 && len(o.surface) > 0 {
+		// No seed: find a surface vertex near the query to start the
+		// directed walk. The walk only needs a reasonable start, not the
+		// exact closest vertex (its cost is insignificant either way,
+		// Figure 10(a)), so the distance pass samples the surface instead
+		// of paying a full second scan.
+		sampleStride := stride * (1 + len(o.surface)/2048)
+		minDist := math.Inf(1)
+		for idx := start; idx < len(o.surface); idx += sampleStride {
+			v := o.surface[idx]
+			if d := q.Dist2(pos[v]); d < minDist {
+				minDist = d
+				minVertex = v
+			}
+		}
+	}
+	o.stats.ProbeChecked += probed
+	t1 := time.Now()
+	o.stats.SurfaceProbe += t1.Sub(t0)
+
+	// Phase 2: directed walk, only when the probe found no seed. Exact
+	// mode uses the fallback-strengthened walk; approximate mode uses the
+	// paper's plain greedy walk (accuracy is already being traded away).
+	if len(o.seeds) == 0 {
+		if minVertex >= 0 {
+			o.stats.DirectedWalks++
+			var seed int32
+			var ok bool
+			if stride == 1 {
+				seed, ok = o.directedWalk(q, minVertex)
+			} else {
+				seed, ok = o.greedyWalk(q, minVertex)
+			}
+			if ok {
+				o.seeds = append(o.seeds, seed)
+			}
+		}
+		t2 := time.Now()
+		o.stats.DirectedWalk += t2.Sub(t1)
+		t1 = t2
+	}
+
+	// Phase 3: crawling.
+	out = o.crawl(q, o.seeds, out)
+	o.stats.Crawl += time.Since(t1)
+	o.stats.Results += int64(len(out) - before)
+	return out
+}
+
+// MemoryFootprint implements query.Engine: the surface index (array +
+// hash) plus the crawl structures — the accounting of Figures 6(b) and
+// 10(b).
+func (o *Octopus) MemoryFootprint() int64 {
+	return int64(cap(o.surface))*4 +
+		int64(len(o.surfaceSlot))*16 +
+		o.crawler.memoryBytes() +
+		int64(cap(o.seeds))*4
+}
+
+// ApplySurfaceDelta folds a restructuring delta (§IV-E2) into the surface
+// index: hash-table inserts and deletes, no rebuild. Deltas may break the
+// surface-first layout, in which case the probe falls back to the
+// id-array path.
+func (o *Octopus) ApplySurfaceDelta(d mesh.SurfaceDelta) {
+	defer o.refreshDense()
+	for _, v := range d.Removed {
+		slot, ok := o.surfaceSlot[v]
+		if !ok {
+			continue
+		}
+		last := int32(len(o.surface) - 1)
+		moved := o.surface[last]
+		o.surface[slot] = moved
+		o.surfaceSlot[moved] = slot
+		o.surface = o.surface[:last]
+		delete(o.surfaceSlot, v)
+	}
+	for _, v := range d.Added {
+		if _, ok := o.surfaceSlot[v]; ok {
+			continue
+		}
+		o.surfaceSlot[v] = int32(len(o.surface))
+		o.surface = append(o.surface, v)
+	}
+}
+
+// Stats returns the accumulated phase statistics.
+func (o *Octopus) Stats() Stats {
+	s := o.stats
+	s.WalkVisited = o.walkVisited
+	s.CrawlVisited = o.crawlVisited
+	return s
+}
+
+// ResetStats clears the accumulated statistics.
+func (o *Octopus) ResetStats() {
+	o.stats = Stats{}
+	o.walkVisited = 0
+	o.crawlVisited = 0
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func buildBox(t testing.TB, n int) *mesh.Mesh {
+	t.Helper()
+	m, err := meshgen.BuildBoxTet(n, n, n, 1.0/float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func checkOracle(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	if d := query.Diff(got, want); d != "" {
+		t.Fatalf("%s: %s", label, d)
+	}
+}
+
+func TestOctopusMatchesBruteForceConvex(t *testing.T) {
+	m := buildBox(t, 10)
+	o := New(m)
+	if o.Name() == "" || o.SurfaceSize() == 0 {
+		t.Fatal("engine not initialized")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.03+r.Float64()*0.25)
+		checkOracle(t, "convex", o.Query(q, nil), query.BruteForce(m, q))
+	}
+}
+
+func TestOctopusMatchesBruteForceUnderSimulation(t *testing.T) {
+	m := buildBox(t, 8)
+	o := New(m)
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.02, Frequency: 3, Seed: 2})
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 10; step++ {
+		s.Step()
+		o.Step() // no-op, part of the engine contract
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.02+r.Float64()*0.2)
+			checkOracle(t, "sim", o.Query(q, nil), query.BruteForce(m, q))
+		}
+	}
+}
+
+func TestOctopusNonConvexDisjointComponents(t *testing.T) {
+	// The neuron mesh has two disjoint neuron cells; queries spanning both
+	// retrieve disjoint sub-meshes — the Figure 3 scenario that requires
+	// seeding the crawl from every surface vertex in the query.
+	m, err := meshgen.BuildNeuron(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(m)
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 1.5, Seed: 4})
+	r := rand.New(rand.NewSource(5))
+
+	// Large queries likely spanning both neurons.
+	diag := m.Bounds().Size().Len()
+	for step := 0; step < 3; step++ {
+		s.Step()
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), diag*(0.1+0.25*r.Float64()))
+			checkOracle(t, "nonconvex-large", o.Query(q, nil), query.BruteForce(m, q))
+		}
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), diag*0.02)
+			checkOracle(t, "nonconvex-small", o.Query(q, nil), query.BruteForce(m, q))
+		}
+	}
+}
+
+func TestOctopusInteriorQueryUsesDirectedWalk(t *testing.T) {
+	m := buildBox(t, 12)
+	o := New(m)
+	// A tiny query at the center encloses no surface vertex.
+	q := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.08)
+	want := query.BruteForce(m, q)
+	if len(want) == 0 {
+		t.Fatal("test query unexpectedly empty")
+	}
+	got := o.Query(q, nil)
+	checkOracle(t, "interior", got, want)
+	if o.Stats().DirectedWalks != 1 {
+		t.Errorf("directed walks = %d, want 1", o.Stats().DirectedWalks)
+	}
+	if o.Stats().WalkVisited == 0 {
+		t.Error("walk visited no vertices")
+	}
+}
+
+func TestOctopusDisjointQueryEmpty(t *testing.T) {
+	m := buildBox(t, 6)
+	o := New(m)
+	got := o.Query(geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6)), nil)
+	if len(got) != 0 {
+		t.Errorf("disjoint query returned %d results", len(got))
+	}
+	// Whole-mesh query returns every vertex.
+	all := o.Query(m.Bounds(), nil)
+	if len(all) != m.NumVertices() {
+		t.Errorf("whole-mesh query returned %d of %d", len(all), m.NumVertices())
+	}
+}
+
+func TestOctopusEmptyMesh(t *testing.T) {
+	b := mesh.NewBuilder(0, 0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(m)
+	if got := o.Query(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), nil); len(got) != 0 {
+		t.Errorf("empty mesh query = %v", got)
+	}
+}
+
+func TestOctopusQueryAppendsToOut(t *testing.T) {
+	m := buildBox(t, 4)
+	o := New(m)
+	prefix := []int32{-7}
+	got := o.Query(geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.3), prefix)
+	if got[0] != -7 {
+		t.Error("existing prefix clobbered")
+	}
+	if len(got) <= 1 {
+		t.Error("no results appended")
+	}
+}
+
+func TestApproximationAccuracyAndExactness(t *testing.T) {
+	m, err := meshgen.BuildNeuron(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(m)
+	r := rand.New(rand.NewSource(6))
+	diag := m.Bounds().Size().Len()
+
+	queries := make([]geom.AABB, 12)
+	for i := range queries {
+		queries[i] = geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), diag*0.05)
+	}
+
+	accuracy := func(frac float64) float64 {
+		o.SetApproximation(frac)
+		gotTotal, wantTotal := 0, 0
+		for _, q := range queries {
+			got := o.Query(q, nil)
+			want := query.BruteForce(m, q)
+			gotTotal += len(got)
+			wantTotal += len(want)
+			if len(got) > len(want) {
+				t.Fatalf("approximation returned MORE than truth: %d > %d", len(got), len(want))
+			}
+		}
+		if wantTotal == 0 {
+			return 1
+		}
+		return float64(gotTotal) / float64(wantTotal)
+	}
+
+	// Exact mode must be exact.
+	o.SetApproximation(1)
+	for _, q := range queries {
+		checkOracle(t, "approx=1", o.Query(q, nil), query.BruteForce(m, q))
+	}
+	// Sane fractions keep high accuracy (paper: >90% while ignoring 99.9%
+	// of the surface; at our smaller scale we probe 10%).
+	if acc := accuracy(0.10); acc < 0.85 {
+		t.Errorf("accuracy at 10%% approximation = %.2f", acc)
+	}
+	// Out-of-range fractions reset to exact.
+	o.SetApproximation(-1)
+	for _, q := range queries {
+		checkOracle(t, "approx reset", o.Query(q, nil), query.BruteForce(m, q))
+	}
+}
+
+func TestSurfaceDeltaMaintenance(t *testing.T) {
+	m := buildBox(t, 5)
+	m.EnableRestructuring()
+	o := New(m)
+	r := rand.New(rand.NewSource(7))
+
+	for step := 0; step < 40; step++ {
+		// Random restructure.
+		live := []int{}
+		for ci := range m.Cells() {
+			if !m.Cells()[ci].Dead {
+				live = append(live, ci)
+			}
+		}
+		ci := live[r.Intn(len(live))]
+		var delta mesh.SurfaceDelta
+		var err error
+		if r.Intn(2) == 0 {
+			_, delta, err = m.SplitCell(ci)
+		} else {
+			delta, err = m.DeleteCell(ci)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.ApplySurfaceDelta(delta)
+
+		// The engine's surface index must equal the mesh's recomputed one.
+		if o.SurfaceSize() != len(m.SurfaceVertices()) {
+			t.Fatalf("step %d: surface index size %d, mesh says %d",
+				step, o.SurfaceSize(), len(m.SurfaceVertices()))
+		}
+		// And queries must stay exact.
+		q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.25)
+		checkOracle(t, "restructured", o.Query(q, nil), query.BruteForce(m, q))
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	m := buildBox(t, 6)
+	o := New(m)
+	q := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.3)
+	for i := 0; i < 5; i++ {
+		o.Query(q, nil)
+	}
+	s := o.Stats()
+	if s.Queries != 5 {
+		t.Errorf("queries = %d", s.Queries)
+	}
+	if s.Results == 0 || s.ProbeChecked == 0 || s.CrawlVisited == 0 {
+		t.Errorf("counters not accumulating: %+v", s)
+	}
+	if s.Total() <= 0 {
+		t.Error("total time not positive")
+	}
+	o.ResetStats()
+	if s := o.Stats(); s.Queries != 0 || s.CrawlVisited != 0 {
+		t.Errorf("reset failed: %+v", s)
+	}
+}
+
+func TestMemoryFootprintGrowsWithResults(t *testing.T) {
+	m := buildBox(t, 14)
+	o := New(m)
+	small := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.05)
+	o.Query(small, nil)
+	fpSmall := o.MemoryFootprint()
+
+	o2 := New(m)
+	big := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.45)
+	o2.Query(big, nil)
+	fpBig := o2.MemoryFootprint()
+	if fpBig <= fpSmall {
+		t.Errorf("footprint did not grow with result size: %d vs %d", fpSmall, fpBig)
+	}
+}

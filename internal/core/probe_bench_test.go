@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"octopus/internal/geom"
+)
+
+func mkpos(n int) []geom.Vec3 {
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		f := float64(i%1000) / 1000
+		pos[i] = geom.V(f, f*0.5, f*0.25)
+	}
+	return pos
+}
+
+var sinkN int
+
+func BenchmarkProbeRangeLoop(b *testing.B) {
+	pos := mkpos(70000)
+	q := geom.BoxAround(geom.V(0.5, 0.25, 0.125), 0.01)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		n := 0
+		for _, p := range pos[:21000] {
+			if q.Contains(p) {
+				n++
+			}
+		}
+		sinkN += n
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/21000, "ns/vtx")
+}
+
+func BenchmarkProbeFullScan(b *testing.B) {
+	pos := mkpos(70000)
+	q := geom.BoxAround(geom.V(0.5, 0.25, 0.125), 0.01)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		n := 0
+		for _, p := range pos {
+			if q.Contains(p) {
+				n++
+			}
+		}
+		sinkN += n
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/70000, "ns/vtx")
+}
+
+func BenchmarkProbeGather(b *testing.B) {
+	pos := mkpos(70000)
+	ids := make([]int32, 21000)
+	for i := range ids {
+		ids[i] = int32(i * 3)
+	}
+	q := geom.BoxAround(geom.V(0.5, 0.25, 0.125), 0.01)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		n := 0
+		for _, v := range ids {
+			if q.Contains(pos[v]) {
+				n++
+			}
+		}
+		sinkN += n
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/21000, "ns/vtx")
+}

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box, the geometry of every range query in
+// the paper as well as the bounding volume used by the R-tree, octree and
+// grid substrates. Min and Max are inclusive corners; a box with any
+// Min component strictly greater than the matching Max component is empty.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Box constructs an AABB from two opposite corners, which may be given in
+// any order.
+func Box(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// BoxAround constructs the axis-aligned cube of half-extent r centered at c.
+func BoxAround(c Vec3, r float64) AABB {
+	e := Vec3{r, r, r}
+	return AABB{Min: c.Sub(e), Max: c.Add(e)}
+}
+
+// EmptyBox returns the canonical empty box: the identity element of Union.
+func EmptyBox() AABB {
+	inf := math.Inf(1)
+	return AABB{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// IsEmpty reports whether b contains no points.
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Contains reports whether the point p lies inside b (inclusive bounds).
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b AABB) ContainsBox(o AABB) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	return b.Contains(o.Min) && b.Contains(o.Max)
+}
+
+// Intersects reports whether b and o share at least one point.
+func (b AABB) Intersects(o AABB) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Intersection returns the overlap of b and o (possibly empty).
+func (b AABB) Intersection(o AABB) AABB {
+	return AABB{Min: b.Min.Max(o.Min), Max: b.Max.Min(o.Max)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return AABB{Min: b.Min.Min(o.Min), Max: b.Max.Max(o.Max)}
+}
+
+// Extend returns the smallest box containing b and the point p.
+func (b AABB) Extend(p Vec3) AABB {
+	if b.IsEmpty() {
+		return AABB{Min: p, Max: p}
+	}
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Grow returns b expanded by margin m on every side. A negative margin
+// shrinks the box and may make it empty.
+func (b AABB) Grow(m float64) AABB {
+	e := Vec3{m, m, m}
+	return AABB{Min: b.Min.Sub(e), Max: b.Max.Add(e)}
+}
+
+// Center returns the geometric center of b.
+func (b AABB) Center() Vec3 {
+	return b.Min.Add(b.Max).Scale(0.5)
+}
+
+// Size returns the extent of b along each axis.
+func (b AABB) Size() Vec3 {
+	if b.IsEmpty() {
+		return Vec3{}
+	}
+	return b.Max.Sub(b.Min)
+}
+
+// Volume returns the volume of b (zero if empty or degenerate).
+func (b AABB) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// SurfaceArea returns the total surface area of b.
+func (b AABB) SurfaceArea() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return 2 * (s.X*s.Y + s.Y*s.Z + s.Z*s.X)
+}
+
+// Margin returns the summed edge length of b, the "margin" used by R*-style
+// split heuristics.
+func (b AABB) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return 4 * (s.X + s.Y + s.Z)
+}
+
+// Dist2 returns the squared distance from point p to the closest point of b,
+// or 0 when p is inside b. This is the distance(v, q) of the paper's
+// directed-walk phase (Algorithm 1), kept squared to avoid square roots in
+// the hot loop.
+func (b AABB) Dist2(p Vec3) float64 {
+	d := 0.0
+	if dx := b.Min.X - p.X; dx > 0 {
+		d += dx * dx
+	} else if dx := p.X - b.Max.X; dx > 0 {
+		d += dx * dx
+	}
+	if dy := b.Min.Y - p.Y; dy > 0 {
+		d += dy * dy
+	} else if dy := p.Y - b.Max.Y; dy > 0 {
+		d += dy * dy
+	}
+	if dz := b.Min.Z - p.Z; dz > 0 {
+		d += dz * dz
+	} else if dz := p.Z - b.Max.Z; dz > 0 {
+		d += dz * dz
+	}
+	return d
+}
+
+// Dist returns the Euclidean distance from p to the closest point of b.
+func (b AABB) Dist(p Vec3) float64 { return math.Sqrt(b.Dist2(p)) }
+
+// ClampPoint returns the point of b closest to p.
+func (b AABB) ClampPoint(p Vec3) Vec3 {
+	return p.Max(b.Min).Min(b.Max)
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string {
+	return fmt.Sprintf("[%v .. %v]", b.Min, b.Max)
+}

@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBox(r *rand.Rand) AABB {
+	a := V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+	b := V(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+	return Box(a, b)
+}
+
+func TestBoxNormalizesCorners(t *testing.T) {
+	b := Box(V(5, -1, 2), V(1, 3, -4))
+	if b.Min != V(1, -1, -4) || b.Max != V(5, 3, 2) {
+		t.Errorf("Box = %v", b)
+	}
+}
+
+func TestBoxAround(t *testing.T) {
+	b := BoxAround(V(1, 1, 1), 2)
+	if b.Min != V(-1, -1, -1) || b.Max != V(3, 3, 3) {
+		t.Errorf("BoxAround = %v", b)
+	}
+	if !b.Contains(V(1, 1, 1)) {
+		t.Error("center not contained")
+	}
+}
+
+func TestEmptyBox(t *testing.T) {
+	e := EmptyBox()
+	if !e.IsEmpty() {
+		t.Error("EmptyBox not empty")
+	}
+	if e.Volume() != 0 || e.SurfaceArea() != 0 || e.Margin() != 0 {
+		t.Error("empty box should have zero measures")
+	}
+	if e.Contains(V(0, 0, 0)) {
+		t.Error("empty box contains a point")
+	}
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union b = %v", got)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("b union empty = %v", got)
+	}
+	if e.Intersects(b) || b.Intersects(e) {
+		t.Error("empty box intersects")
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	cases := []struct {
+		p    Vec3
+		want bool
+	}{
+		{V(0.5, 0.5, 0.5), true},
+		{V(0, 0, 0), true}, // inclusive min corner
+		{V(1, 1, 1), true}, // inclusive max corner
+		{V(1.0001, 0.5, 0.5), false},
+		{V(-0.0001, 0.5, 0.5), false},
+		{V(0.5, 0.5, 2), false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Box(V(0, 0, 0), V(2, 2, 2))
+	cases := []struct {
+		b    AABB
+		want bool
+	}{
+		{Box(V(1, 1, 1), V(3, 3, 3)), true},
+		{Box(V(2, 2, 2), V(3, 3, 3)), true}, // touching corner counts
+		{Box(V(2.1, 0, 0), V(3, 1, 1)), false},
+		{Box(V(-1, -1, -1), V(3, 3, 3)), true}, // enclosing
+		{Box(V(0.5, 0.5, 0.5), V(1, 1, 1)), true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("symmetric Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectionUnionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		inter := a.Intersection(b)
+		if a.Intersects(b) != !inter.IsEmpty() {
+			t.Fatalf("Intersects(%v,%v) inconsistent with Intersection %v", a, b, inter)
+		}
+		if !inter.IsEmpty() {
+			if !a.ContainsBox(inter) || !b.ContainsBox(inter) {
+				t.Fatalf("intersection %v outside inputs", inter)
+			}
+			// Volume identity only holds when boxes overlap with volume.
+			if inter.Volume() > a.Volume()+1e-12 || inter.Volume() > b.Volume()+1e-12 {
+				t.Fatalf("intersection volume exceeds inputs")
+			}
+		}
+	}
+}
+
+func TestExtend(t *testing.T) {
+	e := EmptyBox().Extend(V(1, 2, 3))
+	if e.Min != V(1, 2, 3) || e.Max != V(1, 2, 3) {
+		t.Errorf("Extend empty = %v", e)
+	}
+	b := Box(V(0, 0, 0), V(1, 1, 1)).Extend(V(5, -1, 0.5))
+	if b.Min != V(0, -1, 0) || b.Max != V(5, 1, 1) {
+		t.Errorf("Extend = %v", b)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1)).Grow(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Grow = %v", b)
+	}
+	if !Box(V(0, 0, 0), V(1, 1, 1)).Grow(-0.6).IsEmpty() {
+		t.Error("over-shrunk box should be empty")
+	}
+}
+
+func TestMeasures(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 3, 4))
+	if got := b.Volume(); got != 24 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := b.SurfaceArea(); got != 2*(6+12+8) {
+		t.Errorf("SurfaceArea = %v", got)
+	}
+	if got := b.Margin(); got != 4*(2+3+4) {
+		t.Errorf("Margin = %v", got)
+	}
+	if got := b.Center(); got != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := b.Size(); got != V(2, 3, 4) {
+		t.Errorf("Size = %v", got)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	cases := []struct {
+		p    Vec3
+		want float64
+	}{
+		{V(0.5, 0.5, 0.5), 0}, // inside
+		{V(2, 0.5, 0.5), 1},   // face distance
+		{V(2, 2, 0.5), 2},     // edge distance
+		{V(2, 2, 2), 3},       // corner distance
+		{V(-1, 0.5, 0.5), 1},
+	}
+	for _, c := range cases {
+		if got := b.Dist2(c.p); !almostEq(got, c.want) {
+			t.Errorf("Dist2(%v) = %v, want %v", c.p, got, c.want)
+		}
+		if got := b.Dist(c.p); !almostEq(got, math.Sqrt(c.want)) {
+			t.Errorf("Dist(%v) = %v", c.p, got)
+		}
+	}
+}
+
+func TestDist2MatchesClampPoint(t *testing.T) {
+	f := func(px, py, pz, ax, ay, az, bx, by, bz float64) bool {
+		b := Box(V(bound(ax), bound(ay), bound(az)), V(bound(bx), bound(by), bound(bz)))
+		p := V(bound(px), bound(py), bound(pz))
+		return almostEq(b.Dist2(p), p.Dist2(b.ClampPoint(p)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsBox(t *testing.T) {
+	outer := Box(V(0, 0, 0), V(10, 10, 10))
+	if !outer.ContainsBox(Box(V(1, 1, 1), V(2, 2, 2))) {
+		t.Error("inner box should be contained")
+	}
+	if outer.ContainsBox(Box(V(5, 5, 5), V(11, 6, 6))) {
+		t.Error("overflowing box should not be contained")
+	}
+	if !outer.ContainsBox(EmptyBox()) {
+		t.Error("empty box is contained in everything")
+	}
+}

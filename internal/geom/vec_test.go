@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*(-5)+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y cross z = %v, want x", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z cross x = %v, want y", got)
+	}
+}
+
+// bound maps an arbitrary float into [-100, 100] so products of quick-check
+// inputs stay far from overflow.
+func bound(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return math.Mod(f, 100)
+}
+
+func TestVecCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(bound(ax), bound(ay), bound(az))
+		b := V(bound(bx), bound(by), bound(bz))
+		c := a.Cross(b)
+		eps := 1e-9 * (1 + a.Len2()) * (1 + b.Len2())
+		return math.Abs(c.Dot(a)) <= eps && math.Abs(c.Dot(b)) <= eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecLenDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := v.Len2(); got != 25 {
+		t.Errorf("Len2 = %v", got)
+	}
+	if got := V(1, 1, 1).Dist(V(1, 1, 1)); got != 0 {
+		t.Errorf("Dist to self = %v", got)
+	}
+	if got := V(0, 0, 0).Dist2(V(1, 2, 2)); got != 9 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	if got := V(0, 0, 0).Normalize(); got != V(0, 0, 0) {
+		t.Errorf("Normalize zero = %v", got)
+	}
+	n := V(10, 0, 0).Normalize()
+	if n != V(1, 0, 0) {
+		t.Errorf("Normalize = %v", n)
+	}
+	f := func(x, y, z float64) bool {
+		v := V(x, y, z)
+		if v.Len() == 0 || math.IsInf(v.Len(), 0) || math.IsNaN(v.Len()) {
+			return true
+		}
+		return almostEq(v.Normalize().Len(), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	a, b := V(1, 5, 3), V(2, 4, 3)
+	if got := a.Min(b); got != V(1, 4, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V(2, 5, 3) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, -5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecComponent(t *testing.T) {
+	v := V(7, 8, 9)
+	for axis, want := range []float64{7, 8, 9} {
+		if got := v.Component(axis); got != want {
+			t.Errorf("Component(%d) = %v, want %v", axis, got, want)
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,208 @@
+// Package grid implements a uniform 3-D grid over vertex positions. It
+// serves two roles in the reproduction:
+//
+//   - OCTOPUS-CON's stale start-point index (§IV-F): built once before the
+//     simulation and never updated, used only to find a vertex near the
+//     query center to shorten the directed walk — staleness affects speed,
+//     never correctness.
+//   - The LU-Grid-style lazily-updated grid baseline (related work [25]),
+//     via Relocate and Query.
+package grid
+
+import (
+	"math"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Grid is a uniform grid of vertex-id buckets.
+type Grid struct {
+	bounds     geom.AABB
+	nx, ny, nz int
+	inv        geom.Vec3 // cells per unit length
+	cells      [][]int32
+	count      int
+}
+
+// Build constructs a grid with approximately targetCells cells (rounded to
+// a near-cubic resolution) and assigns every vertex of m to the cell
+// containing its current position.
+func Build(m *mesh.Mesh, targetCells int) *Grid {
+	return BuildFromPositions(m.Positions(), m.Bounds(), targetCells)
+}
+
+// BuildFromPositions is Build over a raw position array.
+func BuildFromPositions(pos []geom.Vec3, bounds geom.AABB, targetCells int) *Grid {
+	if targetCells < 1 {
+		targetCells = 1
+	}
+	n := 1
+	for n*n*n < targetCells {
+		n++
+	}
+	g := &Grid{bounds: bounds, nx: n, ny: n, nz: n}
+	size := bounds.Size()
+	g.inv = geom.Vec3{}
+	if size.X > 0 {
+		g.inv.X = float64(n) / size.X
+	}
+	if size.Y > 0 {
+		g.inv.Y = float64(n) / size.Y
+	}
+	if size.Z > 0 {
+		g.inv.Z = float64(n) / size.Z
+	}
+	g.cells = make([][]int32, n*n*n)
+	for i, p := range pos {
+		c := g.CellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	g.count = len(pos)
+	return g
+}
+
+// Cells returns the total number of grid cells.
+func (g *Grid) Cells() int { return len(g.cells) }
+
+// Resolution returns the per-axis cell count.
+func (g *Grid) Resolution() int { return g.nx }
+
+// CellOf returns the flat cell index containing p (clamped to the grid).
+func (g *Grid) CellOf(p geom.Vec3) int {
+	ix := g.clampAxis((p.X - g.bounds.Min.X) * g.inv.X)
+	iy := g.clampAxis((p.Y - g.bounds.Min.Y) * g.inv.Y)
+	iz := g.clampAxis((p.Z - g.bounds.Min.Z) * g.inv.Z)
+	return ix + iy*g.nx + iz*g.nx*g.ny
+}
+
+func (g *Grid) clampAxis(f float64) int {
+	if f <= 0 || math.IsNaN(f) {
+		return 0
+	}
+	i := int(f)
+	if i >= g.nx {
+		i = g.nx - 1
+	}
+	return i
+}
+
+// VerticesInCell returns the ids assigned to flat cell index c. The slice
+// aliases internal storage.
+func (g *Grid) VerticesInCell(c int) []int32 { return g.cells[c] }
+
+// NearestPopulated returns some vertex id assigned to the populated cell
+// closest (in Chebyshev ring distance) to the cell containing p. It returns
+// false only when the grid is empty. This is the OCTOPUS-CON start-vertex
+// lookup: "find the cell that encloses the center of the query region ...
+// if no vertex exists the neighboring cells are recursively checked".
+func (g *Grid) NearestPopulated(p geom.Vec3) (int32, bool) {
+	if g.count == 0 {
+		return 0, false
+	}
+	cx := g.clampAxis((p.X - g.bounds.Min.X) * g.inv.X)
+	cy := g.clampAxis((p.Y - g.bounds.Min.Y) * g.inv.Y)
+	cz := g.clampAxis((p.Z - g.bounds.Min.Z) * g.inv.Z)
+
+	maxR := g.nx
+	if g.ny > maxR {
+		maxR = g.ny
+	}
+	if g.nz > maxR {
+		maxR = g.nz
+	}
+	for r := 0; r <= maxR; r++ {
+		if id, ok := g.ringSearch(cx, cy, cz, r); ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ringSearch scans the Chebyshev ring of radius r around (cx, cy, cz).
+func (g *Grid) ringSearch(cx, cy, cz, r int) (int32, bool) {
+	x0, x1 := cx-r, cx+r
+	y0, y1 := cy-r, cy+r
+	z0, z1 := cz-r, cz+r
+	for z := z0; z <= z1; z++ {
+		if z < 0 || z >= g.nz {
+			continue
+		}
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= g.ny {
+				continue
+			}
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= g.nx {
+					continue
+				}
+				// Only the shell of the ring: skip interior cells already
+				// visited at smaller radii.
+				if r > 0 && x != x0 && x != x1 && y != y0 && y != y1 && z != z0 && z != z1 {
+					continue
+				}
+				if cell := g.cells[x+y*g.nx+z*g.nx*g.ny]; len(cell) > 0 {
+					return cell[0], true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// Relocate moves vertex id from the cell containing old to the cell
+// containing now (no-op when both map to the same cell). It is the
+// maintenance primitive of the lazily updated grid baseline.
+func (g *Grid) Relocate(id int32, old, now geom.Vec3) {
+	from, to := g.CellOf(old), g.CellOf(now)
+	if from == to {
+		return
+	}
+	cell := g.cells[from]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[from] = cell[:len(cell)-1]
+			break
+		}
+	}
+	g.cells[to] = append(g.cells[to], id)
+}
+
+// Query appends all ids whose cell intersects q and whose position (looked
+// up through pos) lies inside q.
+func (g *Grid) Query(q geom.AABB, pos []geom.Vec3, out []int32) []int32 {
+	qc := q.Intersection(g.bounds)
+	if qc.IsEmpty() {
+		return out
+	}
+	x0 := g.clampAxis((qc.Min.X - g.bounds.Min.X) * g.inv.X)
+	x1 := g.clampAxis((qc.Max.X - g.bounds.Min.X) * g.inv.X)
+	y0 := g.clampAxis((qc.Min.Y - g.bounds.Min.Y) * g.inv.Y)
+	y1 := g.clampAxis((qc.Max.Y - g.bounds.Min.Y) * g.inv.Y)
+	z0 := g.clampAxis((qc.Min.Z - g.bounds.Min.Z) * g.inv.Z)
+	z1 := g.clampAxis((qc.Max.Z - g.bounds.Min.Z) * g.inv.Z)
+	for z := z0; z <= z1; z++ {
+		for y := y0; y <= y1; y++ {
+			base := y*g.nx + z*g.nx*g.ny
+			for x := x0; x <= x1; x++ {
+				for _, id := range g.cells[base+x] {
+					if q.Contains(pos[id]) {
+						out = append(out, id)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MemoryBytes returns the grid's memory footprint: bucket headers plus
+// stored ids. This is the "memory overhead of grid hash" of Figure 9(d).
+func (g *Grid) MemoryBytes() int64 {
+	bytes := int64(len(g.cells)) * 24 // slice headers
+	for _, c := range g.cells {
+		bytes += int64(cap(c)) * 4
+	}
+	return bytes
+}

@@ -1,0 +1,185 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func randomPositions(n int, r *rand.Rand) []geom.Vec3 {
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+	}
+	return pos
+}
+
+func TestBuildAndCellOf(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pos := randomPositions(1000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 64)
+
+	if g.Cells() < 64 {
+		t.Errorf("cells = %d, want >= 64", g.Cells())
+	}
+	// Every vertex must be in the cell CellOf reports.
+	total := 0
+	for c := 0; c < g.Cells(); c++ {
+		for _, id := range g.VerticesInCell(c) {
+			if g.CellOf(pos[id]) != c {
+				t.Fatalf("vertex %d in cell %d but CellOf says %d", id, c, g.CellOf(pos[id]))
+			}
+			total++
+		}
+	}
+	if total != 1000 {
+		t.Errorf("stored %d vertices, want 1000", total)
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pos := randomPositions(3000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 512)
+
+	for i := 0; i < 60; i++ {
+		q := geom.BoxAround(geom.V(r.Float64(), r.Float64(), r.Float64()), 0.02+r.Float64()*0.2)
+		var got []int32
+		got = g.Query(q, pos, got)
+		var want []int32
+		for id, p := range pos {
+			if q.Contains(p) {
+				want = append(want, int32(id))
+			}
+		}
+		if d := query.Diff(got, want); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func TestQueryOutsideBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pos := randomPositions(100, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 27)
+	if got := g.Query(geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6)), pos, nil); len(got) != 0 {
+		t.Errorf("disjoint query returned %d results", len(got))
+	}
+}
+
+func TestNearestPopulated(t *testing.T) {
+	// Single point in a corner; lookups from anywhere must find it.
+	pos := []geom.Vec3{{X: 0.05, Y: 0.05, Z: 0.05}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 1000)
+
+	for _, probe := range []geom.Vec3{{X: 0.9, Y: 0.9, Z: 0.9}, {X: 0.05, Y: 0.05, Z: 0.05}, {X: 0.5, Y: 0.1, Z: 0.9}} {
+		id, ok := g.NearestPopulated(probe)
+		if !ok || id != 0 {
+			t.Errorf("NearestPopulated(%v) = %d, %v", probe, id, ok)
+		}
+	}
+
+	empty := BuildFromPositions(nil, bounds, 8)
+	if _, ok := empty.NearestPopulated(geom.V(0.5, 0.5, 0.5)); ok {
+		t.Error("empty grid reported a vertex")
+	}
+}
+
+func TestNearestPopulatedPrefersCloseCells(t *testing.T) {
+	// Two points: one in the probe's own cell, one far away. The near one
+	// must win.
+	pos := []geom.Vec3{{X: 0.9, Y: 0.9, Z: 0.9}, {X: 0.1, Y: 0.1, Z: 0.1}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 1000)
+	id, ok := g.NearestPopulated(geom.V(0.12, 0.12, 0.12))
+	if !ok || id != 1 {
+		t.Errorf("NearestPopulated = %d, %v; want 1", id, ok)
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	pos := []geom.Vec3{{X: 0.1, Y: 0.1, Z: 0.1}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	g := BuildFromPositions(pos, bounds, 64)
+
+	old := pos[0]
+	now := geom.V(0.9, 0.9, 0.9)
+	g.Relocate(0, old, now)
+	pos[0] = now
+
+	var got []int32
+	got = g.Query(geom.BoxAround(now, 0.05), pos, got)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("after relocate, query near new position = %v", got)
+	}
+	got = g.Query(geom.BoxAround(old, 0.05), pos, got[:0])
+	if len(got) != 0 {
+		t.Errorf("after relocate, query near old position = %v", got)
+	}
+
+	// Same-cell relocation is a no-op and must not duplicate the id.
+	g.Relocate(0, now, now.Add(geom.V(1e-9, 0, 0)))
+	if n := len(g.VerticesInCell(g.CellOf(now))); n != 1 {
+		t.Errorf("cell holds %d entries after same-cell relocate", n)
+	}
+}
+
+func TestLUEngineTracksSimulation(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewLUEngine(m, 512)
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+	d := &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 3, Seed: 5}
+	s := sim.New(m, d)
+	r := rand.New(rand.NewSource(6))
+
+	for step := 0; step < 5; step++ {
+		s.Step()
+		e.Step()
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.1)
+			got := e.Query(q, nil)
+			want := query.BruteForce(m, q)
+			if diff := query.Diff(got, want); diff != "" {
+				t.Fatalf("step %d query %d: %s", step, i, diff)
+			}
+		}
+	}
+	if e.MemoryFootprint() <= 0 {
+		t.Error("non-positive footprint")
+	}
+}
+
+func TestMemoryBytesGrowsWithResolution(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pos := randomPositions(500, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	small := BuildFromPositions(pos, bounds, 8)
+	big := BuildFromPositions(pos, bounds, 5832)
+	if small.MemoryBytes() >= big.MemoryBytes() {
+		t.Errorf("footprints: small %d, big %d", small.MemoryBytes(), big.MemoryBytes())
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	pos := []geom.Vec3{{X: 0.5, Y: 0.5, Z: 0}, {X: 0.2, Y: 0.8, Z: 0}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0))
+	g := BuildFromPositions(pos, bounds, 27)
+	var got []int32
+	got = g.Query(bounds, pos, got)
+	if len(got) != 2 {
+		t.Errorf("flat grid query = %v", got)
+	}
+}

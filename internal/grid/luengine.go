@@ -1,0 +1,52 @@
+package grid
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// LUEngine is a lazily updated grid index in the spirit of LU-Grid (Xiong,
+// Mokbel, Aref — MDM 2006), included as an extended baseline: per step it
+// relocates only vertices that crossed a cell boundary, avoiding full
+// rebuilds, but under the paper's workload almost every vertex moves every
+// step so maintenance still touches the whole dataset.
+type LUEngine struct {
+	m    *mesh.Mesh
+	g    *Grid
+	last []geom.Vec3
+}
+
+// NewLUEngine builds the grid with approximately targetCells cells over
+// the mesh's current state.
+func NewLUEngine(m *mesh.Mesh, targetCells int) *LUEngine {
+	e := &LUEngine{
+		m:    m,
+		g:    Build(m, targetCells),
+		last: make([]geom.Vec3, m.NumVertices()),
+	}
+	copy(e.last, m.Positions())
+	return e
+}
+
+// Name implements query.Engine.
+func (e *LUEngine) Name() string { return "LU-Grid" }
+
+// Step implements query.Engine: relocate every vertex that changed cell.
+func (e *LUEngine) Step() {
+	pos := e.m.Positions()
+	for i := range pos {
+		e.g.Relocate(int32(i), e.last[i], pos[i])
+		e.last[i] = pos[i]
+	}
+}
+
+// Query implements query.Engine.
+func (e *LUEngine) Query(q geom.AABB, out []int32) []int32 {
+	return e.g.Query(q, e.m.Positions(), out)
+}
+
+// MemoryFootprint implements query.Engine: the grid plus the shadow
+// position array the lazy policy compares against.
+func (e *LUEngine) MemoryFootprint() int64 {
+	return e.g.MemoryBytes() + int64(len(e.last))*24
+}

@@ -1,0 +1,157 @@
+// Package hilbert implements a 3-D Hilbert space-filling curve.
+//
+// OCTOPUS uses the curve for its "graph data organization" optimization
+// (paper §IV-H1): vertices sorted by Hilbert index of their position are
+// stored near their spatial neighbours in memory, improving cache locality
+// of the crawling phase. The R-tree substrate also offers Hilbert-packed
+// bulk loading.
+//
+// The implementation is the classical Butz/Hamilton transpose algorithm:
+// coordinates are interleaved into a "transposed" representation and Gray
+// coding plus per-level rotations convert between coordinates and the scalar
+// curve index. It is exact for any order up to 21 (3×21 = 63 bits, fitting
+// a uint64 index).
+package hilbert
+
+import "fmt"
+
+// MaxOrder is the largest supported curve order; 3*21 = 63 index bits.
+const MaxOrder = 21
+
+// Curve maps between 3-D integer coordinates in [0, 2^Order) and positions
+// along a Hilbert curve of the given order.
+type Curve struct {
+	order uint
+}
+
+// New returns a 3-D Hilbert curve of the given order (bits per dimension).
+// It panics if order is not in [1, MaxOrder]; curve order is a compile-time
+// style configuration error, not a runtime condition.
+func New(order uint) Curve {
+	if order < 1 || order > MaxOrder {
+		panic(fmt.Sprintf("hilbert: order %d out of range [1,%d]", order, MaxOrder))
+	}
+	return Curve{order: order}
+}
+
+// Order returns the curve order.
+func (c Curve) Order() uint { return c.order }
+
+// Size returns the number of cells per dimension, 2^order.
+func (c Curve) Size() uint64 { return 1 << c.order }
+
+// Index returns the position of cell (x, y, z) along the curve. Coordinates
+// outside [0, Size) are clamped; clamping (rather than error returns) keeps
+// the hot mapping path allocation- and branch-light, and out-of-range inputs
+// only arise from floating-point edge effects at the bounding-box border.
+func (c Curve) Index(x, y, z uint64) uint64 {
+	m := c.Size() - 1
+	if x > m {
+		x = m
+	}
+	if y > m {
+		y = m
+	}
+	if z > m {
+		z = m
+	}
+	coords := [3]uint64{x, y, z}
+	axesToTranspose(&coords, c.order)
+	return interleave(coords, c.order)
+}
+
+// Coords inverts Index, returning the cell coordinates for position d along
+// the curve. Positions beyond the end of the curve are taken modulo the
+// curve length.
+func (c Curve) Coords(d uint64) (x, y, z uint64) {
+	total := uint(3 * c.order)
+	if total < 64 {
+		d &= (1 << total) - 1
+	}
+	coords := deinterleave(d, c.order)
+	transposeToAxes(&coords, c.order)
+	return coords[0], coords[1], coords[2]
+}
+
+// axesToTranspose converts coordinates into the transposed Hilbert
+// representation in place (inverse of transposeToAxes).
+func axesToTranspose(x *[3]uint64, order uint) {
+	const n = 3
+	m := uint64(1) << (order - 1)
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else { // exchange
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	t := uint64(0)
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transposed Hilbert representation back into
+// coordinates in place.
+func transposeToAxes(x *[3]uint64, order uint) {
+	const n = 3
+	m := uint64(2) << (order - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else { // exchange
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transposed representation into a single index:
+// bit b of axis a lands at index bit b*3 + (2-a).
+func interleave(x [3]uint64, order uint) uint64 {
+	var d uint64
+	for b := int(order) - 1; b >= 0; b-- {
+		for a := 0; a < 3; a++ {
+			d = (d << 1) | ((x[a] >> uint(b)) & 1)
+		}
+	}
+	return d
+}
+
+// deinterleave unpacks a curve index into the transposed representation.
+func deinterleave(d uint64, order uint) [3]uint64 {
+	var x [3]uint64
+	for b := 0; b < int(order); b++ {
+		for a := 2; a >= 0; a-- {
+			x[a] |= (d & 1) << uint(b)
+			d >>= 1
+		}
+	}
+	return x
+}

@@ -1,0 +1,191 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/geom"
+)
+
+func TestRoundTripSmallOrders(t *testing.T) {
+	for order := uint(1); order <= 4; order++ {
+		c := New(order)
+		n := c.Size()
+		seen := make(map[uint64]bool)
+		for x := uint64(0); x < n; x++ {
+			for y := uint64(0); y < n; y++ {
+				for z := uint64(0); z < n; z++ {
+					d := c.Index(x, y, z)
+					if d >= n*n*n {
+						t.Fatalf("order %d: index %d out of range", order, d)
+					}
+					if seen[d] {
+						t.Fatalf("order %d: duplicate index %d for (%d,%d,%d)", order, d, x, y, z)
+					}
+					seen[d] = true
+					gx, gy, gz := c.Coords(d)
+					if gx != x || gy != y || gz != z {
+						t.Fatalf("order %d: roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)",
+							order, x, y, z, d, gx, gy, gz)
+					}
+				}
+			}
+		}
+		if uint64(len(seen)) != n*n*n {
+			t.Fatalf("order %d: curve not a bijection (%d cells)", order, len(seen))
+		}
+	}
+}
+
+// TestCurveContinuity verifies the defining Hilbert property: consecutive
+// curve positions are adjacent cells (Manhattan distance exactly 1).
+func TestCurveContinuity(t *testing.T) {
+	for order := uint(1); order <= 4; order++ {
+		c := New(order)
+		total := c.Size() * c.Size() * c.Size()
+		px, py, pz := c.Coords(0)
+		for d := uint64(1); d < total; d++ {
+			x, y, z := c.Coords(d)
+			dist := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+			if dist != 1 {
+				t.Fatalf("order %d: step %d jumps distance %d: (%d,%d,%d)->(%d,%d,%d)",
+					order, d, dist, px, py, pz, x, y, z)
+			}
+			px, py, pz = x, y, z
+		}
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestRoundTripHighOrderRandom(t *testing.T) {
+	c := New(MaxOrder)
+	f := func(x, y, z uint64) bool {
+		m := c.Size() - 1
+		x, y, z = x&m, y&m, z&m
+		gx, gy, gz := c.Coords(c.Index(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexClampsOutOfRange(t *testing.T) {
+	c := New(4)
+	m := c.Size() - 1
+	if c.Index(1<<40, 0, 0) != c.Index(m, 0, 0) {
+		t.Error("x clamp failed")
+	}
+	if c.Index(0, 1<<40, 0) != c.Index(0, m, 0) {
+		t.Error("y clamp failed")
+	}
+	if c.Index(0, 0, 1<<40) != c.Index(0, 0, m) {
+		t.Error("z clamp failed")
+	}
+}
+
+func TestNewPanicsOnBadOrder(t *testing.T) {
+	for _, order := range []uint{0, MaxOrder + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", order)
+				}
+			}()
+			New(order)
+		}()
+	}
+}
+
+func TestMapperBasics(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	m := NewMapper(4, bounds)
+
+	// Corner points map without panicking and respect clamping.
+	iMin := m.Index(geom.V(0, 0, 0))
+	iMax := m.Index(geom.V(1, 1, 1))
+	total := uint64(1) << (3 * 4)
+	if iMin >= total || iMax >= total {
+		t.Fatalf("indices out of range: %d %d", iMin, iMax)
+	}
+	// Outside points clamp to the same cells as the boundary.
+	if m.Index(geom.V(-5, -5, -5)) != iMin {
+		t.Error("negative overflow should clamp to min corner cell")
+	}
+	if m.Index(geom.V(9, 9, 9)) != iMax {
+		t.Error("positive overflow should clamp to max corner cell")
+	}
+}
+
+// TestMapperLocality checks that spatially close points receive closer curve
+// indices than far points, on average — the property that makes the
+// Hilbert layout useful for cache locality.
+func TestMapperLocality(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	m := NewMapper(10, bounds)
+	r := rand.New(rand.NewSource(7))
+
+	var nearSum, farSum float64
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		near := p.Add(geom.V(0.01, 0.01, 0.01).Scale(r.Float64()))
+		far := geom.V(r.Float64(), r.Float64(), r.Float64())
+		ip := m.Index(p)
+		nearSum += indexDist(ip, m.Index(near))
+		farSum += indexDist(ip, m.Index(far))
+	}
+	if nearSum >= farSum {
+		t.Errorf("locality violated: near avg %g >= far avg %g", nearSum/trials, farSum/trials)
+	}
+}
+
+func indexDist(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestMapperDegenerateAxis(t *testing.T) {
+	// A flat (2-D) bounding box must not divide by zero.
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0))
+	m := NewMapper(4, bounds)
+	i := m.Index(geom.V(0.5, 0.5, 0))
+	j := m.Index(geom.V(0.5, 0.5, 100))
+	if i != j {
+		t.Error("degenerate axis should map all z to cell 0")
+	}
+}
+
+func BenchmarkIndexOrder10(b *testing.B) {
+	c := New(10)
+	m := c.Size() - 1
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += c.Index(uint64(i)&m, uint64(i*7)&m, uint64(i*13)&m)
+	}
+	_ = sink
+}
+
+func BenchmarkMapperIndex(b *testing.B) {
+	m := NewMapper(10, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	r := rand.New(rand.NewSource(1))
+	pts := make([]geom.Vec3, 1024)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.Index(pts[i&1023])
+	}
+	_ = sink
+}

@@ -1,0 +1,48 @@
+package hilbert
+
+import "octopus/internal/geom"
+
+// Mapper maps continuous 3-D points inside a bounding box onto Hilbert
+// curve indices. It is the bridge between the float-valued mesh world and
+// the integer curve, used both for the crawl-locality vertex reordering and
+// for Hilbert-packed R-tree bulk loads.
+type Mapper struct {
+	curve  Curve
+	origin geom.Vec3
+	scale  geom.Vec3 // cells per unit length along each axis
+}
+
+// NewMapper returns a Mapper that discretizes bounds into 2^order cells per
+// axis. Degenerate axes (zero extent) map every point to cell 0 on that
+// axis.
+func NewMapper(order uint, bounds geom.AABB) *Mapper {
+	c := New(order)
+	size := bounds.Size()
+	n := float64(c.Size())
+	scale := geom.Vec3{}
+	if size.X > 0 {
+		scale.X = n / size.X
+	}
+	if size.Y > 0 {
+		scale.Y = n / size.Y
+	}
+	if size.Z > 0 {
+		scale.Z = n / size.Z
+	}
+	return &Mapper{curve: c, origin: bounds.Min, scale: scale}
+}
+
+// Index returns the Hilbert index of the cell containing p. Points outside
+// the mapper's bounds are clamped onto the boundary cells.
+func (m *Mapper) Index(p geom.Vec3) uint64 {
+	d := p.Sub(m.origin)
+	return m.curve.Index(cell(d.X*m.scale.X), cell(d.Y*m.scale.Y), cell(d.Z*m.scale.Z))
+}
+
+// cell converts a scaled float coordinate to a non-negative cell index.
+func cell(f float64) uint64 {
+	if f <= 0 {
+		return 0
+	}
+	return uint64(f)
+}

@@ -1,0 +1,137 @@
+// Package histogram implements a uniform-grid spatial histogram for
+// selectivity estimation of 3-D range queries, in the spirit of Acharya,
+// Poosala and Ramaswamy (SIGMOD 1999), which the paper uses to feed the
+// Selectivity% parameter of its analytical model (§IV-G).
+//
+// The estimator counts vertices per grid cell and estimates the result
+// cardinality of a box query as the sum of cell counts weighted by the
+// fractional volume overlap between the query and each cell, assuming
+// uniformity within cells.
+package histogram
+
+import (
+	"octopus/internal/geom"
+)
+
+// Histogram is a dense uniform-grid count histogram over a bounding box.
+type Histogram struct {
+	bounds     geom.AABB
+	nx, ny, nz int
+	cell       geom.Vec3 // cell extent per axis
+	counts     []float64
+	total      float64
+}
+
+// Build constructs a histogram with approximately targetCells cells
+// (rounded to a near-cubic grid) over the given bounds, counting the given
+// positions. Positions outside bounds are clamped into the boundary cells.
+func Build(positions []geom.Vec3, bounds geom.AABB, targetCells int) *Histogram {
+	if targetCells < 1 {
+		targetCells = 1
+	}
+	n := 1
+	for n*n*n < targetCells {
+		n++
+	}
+	h := &Histogram{bounds: bounds, nx: n, ny: n, nz: n}
+	size := bounds.Size()
+	h.cell = geom.V(size.X/float64(n), size.Y/float64(n), size.Z/float64(n))
+	h.counts = make([]float64, n*n*n)
+	for _, p := range positions {
+		h.counts[h.cellIndex(p)]++
+		h.total++
+	}
+	return h
+}
+
+// cellIndex returns the flat index of the cell containing p (clamped).
+func (h *Histogram) cellIndex(p geom.Vec3) int {
+	ix := h.axisCell(p.X-h.bounds.Min.X, h.cell.X, h.nx)
+	iy := h.axisCell(p.Y-h.bounds.Min.Y, h.cell.Y, h.ny)
+	iz := h.axisCell(p.Z-h.bounds.Min.Z, h.cell.Z, h.nz)
+	return ix + iy*h.nx + iz*h.nx*h.ny
+}
+
+func (h *Histogram) axisCell(d, cell float64, n int) int {
+	if cell <= 0 || d <= 0 {
+		return 0
+	}
+	i := int(d / cell)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Total returns the number of counted positions.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Cells returns the number of histogram cells.
+func (h *Histogram) Cells() int { return len(h.counts) }
+
+// Estimate returns the estimated number of positions inside q.
+func (h *Histogram) Estimate(q geom.AABB) float64 {
+	q = q.Intersection(h.bounds)
+	if q.IsEmpty() {
+		return 0
+	}
+	// Cell index ranges overlapped by q.
+	x0 := h.axisCell(q.Min.X-h.bounds.Min.X, h.cell.X, h.nx)
+	x1 := h.axisCell(q.Max.X-h.bounds.Min.X, h.cell.X, h.nx)
+	y0 := h.axisCell(q.Min.Y-h.bounds.Min.Y, h.cell.Y, h.ny)
+	y1 := h.axisCell(q.Max.Y-h.bounds.Min.Y, h.cell.Y, h.ny)
+	z0 := h.axisCell(q.Min.Z-h.bounds.Min.Z, h.cell.Z, h.nz)
+	z1 := h.axisCell(q.Max.Z-h.bounds.Min.Z, h.cell.Z, h.nz)
+
+	est := 0.0
+	for iz := z0; iz <= z1; iz++ {
+		fz := h.axisOverlap(q.Min.Z, q.Max.Z, h.bounds.Min.Z, h.cell.Z, iz)
+		for iy := y0; iy <= y1; iy++ {
+			fy := h.axisOverlap(q.Min.Y, q.Max.Y, h.bounds.Min.Y, h.cell.Y, iy)
+			base := iy*h.nx + iz*h.nx*h.ny
+			for ix := x0; ix <= x1; ix++ {
+				c := h.counts[base+ix]
+				if c == 0 {
+					continue
+				}
+				fx := h.axisOverlap(q.Min.X, q.Max.X, h.bounds.Min.X, h.cell.X, ix)
+				est += c * fx * fy * fz
+			}
+		}
+	}
+	return est
+}
+
+// axisOverlap returns the fraction of cell i (along one axis) covered by
+// the interval [qmin, qmax].
+func (h *Histogram) axisOverlap(qmin, qmax, origin, cell float64, i int) float64 {
+	if cell <= 0 {
+		return 1
+	}
+	lo := origin + float64(i)*cell
+	hi := lo + cell
+	if qmin > lo {
+		lo = qmin
+	}
+	if qmax < hi {
+		hi = qmax
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / cell
+}
+
+// Selectivity returns Estimate(q) normalized by the total count, i.e. the
+// estimated fraction of the dataset inside q.
+func (h *Histogram) Selectivity(q geom.AABB) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.Estimate(q) / h.total
+}
+
+// MemoryBytes returns the histogram's memory footprint.
+func (h *Histogram) MemoryBytes() int64 {
+	return int64(len(h.counts)) * 8
+}

@@ -1,0 +1,135 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+)
+
+func uniformPoints(n int, r *rand.Rand) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+	}
+	return pts
+}
+
+func TestEstimateWholeBox(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := uniformPoints(10000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(pts, bounds, 512)
+
+	if got := h.Estimate(bounds); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("whole-box estimate = %v, want 10000", got)
+	}
+	if got := h.Selectivity(bounds); math.Abs(got-1) > 1e-9 {
+		t.Errorf("whole-box selectivity = %v", got)
+	}
+	if h.Total() != 10000 {
+		t.Errorf("Total = %v", h.Total())
+	}
+}
+
+func TestEstimateUniformAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := uniformPoints(50000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(pts, bounds, 4096)
+
+	for i := 0; i < 50; i++ {
+		c := geom.V(r.Float64(), r.Float64(), r.Float64())
+		half := 0.05 + r.Float64()*0.15
+		q := geom.BoxAround(c, half)
+
+		truth := 0
+		for _, p := range pts {
+			if q.Contains(p) {
+				truth++
+			}
+		}
+		est := h.Estimate(q)
+		// Uniform data on a fine grid: expect single-digit percentage error
+		// plus small absolute slack for tiny results.
+		if diff := math.Abs(est - float64(truth)); diff > 0.1*float64(truth)+30 {
+			t.Errorf("query %v: estimate %.0f, truth %d", q, est, truth)
+		}
+	}
+}
+
+func TestEstimateDisjointQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := uniformPoints(1000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(pts, bounds, 64)
+	if got := h.Estimate(geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6))); got != 0 {
+		t.Errorf("disjoint estimate = %v", got)
+	}
+	if got := h.Estimate(geom.EmptyBox()); got != 0 {
+		t.Errorf("empty estimate = %v", got)
+	}
+}
+
+func TestEstimateClusteredData(t *testing.T) {
+	// All mass in one corner; queries elsewhere must estimate ~0.
+	r := rand.New(rand.NewSource(4))
+	pts := make([]geom.Vec3, 5000)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64()*0.1, r.Float64()*0.1, r.Float64()*0.1)
+	}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(pts, bounds, 4096)
+
+	far := geom.Box(geom.V(0.5, 0.5, 0.5), geom.V(0.9, 0.9, 0.9))
+	if got := h.Estimate(far); got > 1 {
+		t.Errorf("far estimate = %v, want ~0", got)
+	}
+	near := geom.Box(geom.V(0, 0, 0), geom.V(0.12, 0.12, 0.12))
+	if got := h.Estimate(near); got < 4000 {
+		t.Errorf("near estimate = %v, want ~5000", got)
+	}
+}
+
+func TestBuildSmallTargets(t *testing.T) {
+	pts := []geom.Vec3{{X: 0.5, Y: 0.5, Z: 0.5}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(pts, bounds, 0) // clamped to 1 cell
+	if h.Cells() != 1 {
+		t.Errorf("cells = %d", h.Cells())
+	}
+	if got := h.Estimate(bounds); got != 1 {
+		t.Errorf("estimate = %v", got)
+	}
+}
+
+func TestOutOfBoundsPointsClamp(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	pts := []geom.Vec3{{X: -5, Y: 0.5, Z: 0.5}, {X: 5, Y: 5, Z: 5}}
+	h := Build(pts, bounds, 27)
+	if h.Total() != 2 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if got := h.Estimate(bounds); math.Abs(got-2) > 1e-9 {
+		t.Errorf("estimate = %v, want 2", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	h := Build(nil, bounds, 64)
+	if h.MemoryBytes() != int64(h.Cells())*8 {
+		t.Errorf("MemoryBytes = %d", h.MemoryBytes())
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// A flat dataset must not divide by zero.
+	pts := []geom.Vec3{{X: 0.1, Y: 0.2, Z: 0}, {X: 0.9, Y: 0.8, Z: 0}}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 0))
+	h := Build(pts, bounds, 64)
+	if got := h.Estimate(bounds); math.Abs(got-2) > 1e-9 {
+		t.Errorf("flat estimate = %v, want 2", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package kdtree implements a bucket kd-tree over vertex positions
+// (Bentley 1975, the paper's reference [4]) used as an additional
+// throwaway-index baseline: like the octree it is rebuilt from scratch at
+// every simulation step, trading per-step build cost for fast queries.
+package kdtree
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// DefaultBucketSize is the leaf capacity used when none is given.
+const DefaultBucketSize = 256
+
+// Tree is a bucket kd-tree over a snapshot of positions.
+type Tree struct {
+	pos    []geom.Vec3
+	ids    []int32
+	nodes  []node
+	bucket int
+}
+
+// node is one kd-tree node; leaves reference ids[start:start+count].
+type node struct {
+	split        float64
+	axis         int8
+	leaf         bool
+	left, right  int32
+	start, count int32
+}
+
+// Build constructs the tree over pos. bucket <= 0 uses DefaultBucketSize.
+// The positions are captured, not copied: rebuild after they change.
+func Build(pos []geom.Vec3, bucket int) *Tree {
+	if bucket <= 0 {
+		bucket = DefaultBucketSize
+	}
+	t := &Tree{pos: pos, bucket: bucket}
+	t.ids = make([]int32, len(pos))
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	t.nodes = make([]node, 0, 2*len(pos)/bucket+8)
+	if len(pos) > 0 {
+		t.build(0, len(t.ids), 0)
+	}
+	return t
+}
+
+const maxDepth = 48
+
+// build creates the subtree over ids[lo:hi] and returns its node index.
+func (t *Tree) build(lo, hi, depth int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{})
+	if hi-lo <= t.bucket || depth >= maxDepth {
+		t.nodes[idx] = node{leaf: true, start: int32(lo), count: int32(hi - lo), left: -1, right: -1}
+		return idx
+	}
+
+	// Split along the axis of largest extent at the midpoint of the
+	// extent (cheap, robust against clustered data).
+	bounds := geom.EmptyBox()
+	for _, id := range t.ids[lo:hi] {
+		bounds = bounds.Extend(t.pos[id])
+	}
+	size := bounds.Size()
+	axis := 0
+	if size.Y > size.X && size.Y >= size.Z {
+		axis = 1
+	} else if size.Z > size.X && size.Z > size.Y {
+		axis = 2
+	}
+	split := bounds.Center().Component(axis)
+
+	mid := t.partition(lo, hi, axis, split)
+	if mid == lo || mid == hi {
+		// Degenerate split (all points on one side): make a leaf.
+		t.nodes[idx] = node{leaf: true, start: int32(lo), count: int32(hi - lo), left: -1, right: -1}
+		return idx
+	}
+	left := t.build(lo, mid, depth+1)
+	right := t.build(mid, hi, depth+1)
+	t.nodes[idx] = node{split: split, axis: int8(axis), left: left, right: right}
+	return idx
+}
+
+// partition reorders ids[lo:hi] so points with component < split come
+// first, returning the boundary.
+func (t *Tree) partition(lo, hi, axis int, split float64) int {
+	i := lo
+	for j := lo; j < hi; j++ {
+		if t.pos[t.ids[j]].Component(axis) < split {
+			t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+			i++
+		}
+	}
+	return i
+}
+
+// Query appends all ids whose position lies inside q to out.
+func (t *Tree) Query(q geom.AABB, out []int32) []int32 {
+	if len(t.nodes) == 0 {
+		return out
+	}
+	return t.query(0, q, out)
+}
+
+func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
+	n := &t.nodes[idx]
+	if n.leaf {
+		for _, id := range t.ids[n.start : n.start+n.count] {
+			if q.Contains(t.pos[id]) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	if q.Min.Component(int(n.axis)) < n.split {
+		out = t.query(n.left, q, out)
+	}
+	if q.Max.Component(int(n.axis)) >= n.split {
+		out = t.query(n.right, q, out)
+	}
+	return out
+}
+
+// MemoryBytes returns the tree's footprint.
+func (t *Tree) MemoryBytes() int64 {
+	const nodeBytes = 8 + 1 + 1 + 4 + 4 + 4 + 4 + 6 // fields + pad
+	return int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4
+}
+
+// Engine adapts the kd-tree to the query.Engine lifecycle with a full
+// rebuild per step.
+type Engine struct {
+	m      *mesh.Mesh
+	bucket int
+	tree   *Tree
+}
+
+// NewEngine builds the initial tree. bucket <= 0 uses DefaultBucketSize.
+func NewEngine(m *mesh.Mesh, bucket int) *Engine {
+	e := &Engine{m: m, bucket: bucket}
+	e.Step()
+	return e
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "KD-Tree" }
+
+// Step implements query.Engine: rebuild from scratch.
+func (e *Engine) Step() { e.tree = Build(e.m.Positions(), e.bucket) }
+
+// Query implements query.Engine.
+func (e *Engine) Query(q geom.AABB, out []int32) []int32 { return e.tree.Query(q, out) }
+
+// MemoryFootprint implements query.Engine.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }

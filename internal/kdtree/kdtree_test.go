@@ -1,0 +1,99 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func randomPositions(n int, r *rand.Rand) []geom.Vec3 {
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+	}
+	return pos
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pos := randomPositions(5000, r)
+	tree := Build(pos, 32)
+
+	for i := 0; i < 80; i++ {
+		q := geom.BoxAround(geom.V(r.Float64(), r.Float64(), r.Float64()), 0.01+r.Float64()*0.3)
+		got := tree.Query(q, nil)
+		var want []int32
+		for id, p := range pos {
+			if q.Contains(p) {
+				want = append(want, int32(id))
+			}
+		}
+		if d := query.Diff(got, want); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	empty := Build(nil, 8)
+	if got := empty.Query(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), nil); len(got) != 0 {
+		t.Errorf("empty tree query = %v", got)
+	}
+
+	// All coincident points: degenerate splits must terminate.
+	pos := make([]geom.Vec3, 500)
+	for i := range pos {
+		pos[i] = geom.V(0.3, 0.3, 0.3)
+	}
+	tree := Build(pos, 8)
+	if got := tree.Query(geom.BoxAround(geom.V(0.3, 0.3, 0.3), 0.01), nil); len(got) != 500 {
+		t.Errorf("coincident query = %d results", len(got))
+	}
+	if tree.MemoryBytes() <= 0 {
+		t.Error("non-positive memory")
+	}
+}
+
+func TestBoundarySplitInclusion(t *testing.T) {
+	// Points exactly on a split plane must not be lost.
+	pos := []geom.Vec3{
+		{X: 0.5, Y: 0.5, Z: 0.5},
+		{X: 0.25, Y: 0.5, Z: 0.5},
+		{X: 0.75, Y: 0.5, Z: 0.5},
+	}
+	tree := Build(pos, 1)
+	got := tree.Query(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), nil)
+	if len(got) != 3 {
+		t.Errorf("full query = %d results, want 3", len(got))
+	}
+}
+
+func TestEngineUnderSimulation(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, 0)
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 3, Seed: 2})
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 5; step++ {
+		s.Step()
+		e.Step()
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.12)
+			if d := query.Diff(e.Query(q, nil), query.BruteForce(m, q)); d != "" {
+				t.Fatalf("step %d query %d: %s", step, i, d)
+			}
+		}
+	}
+	if e.MemoryFootprint() <= 0 {
+		t.Error("non-positive footprint")
+	}
+}

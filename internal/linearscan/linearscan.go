@@ -1,0 +1,39 @@
+// Package linearscan implements the paper's baseline: a full scan of the
+// vertex array per query. It needs no auxiliary structures and no
+// maintenance, but its query cost is Θ(V) — Equation 4 of the analytical
+// model — which is exactly the scaling problem OCTOPUS removes.
+package linearscan
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Scan is the linear-scan query engine.
+type Scan struct {
+	m *mesh.Mesh
+}
+
+// New returns a linear-scan engine over m.
+func New(m *mesh.Mesh) *Scan {
+	return &Scan{m: m}
+}
+
+// Name implements query.Engine.
+func (s *Scan) Name() string { return "LinearScan" }
+
+// Step implements query.Engine; the scan has nothing to maintain.
+func (s *Scan) Step() {}
+
+// Query implements query.Engine.
+func (s *Scan) Query(q geom.AABB, out []int32) []int32 {
+	for i, p := range s.m.Positions() {
+		if q.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// MemoryFootprint implements query.Engine; the scan stores nothing.
+func (s *Scan) MemoryFootprint() int64 { return 0 }

@@ -1,0 +1,59 @@
+package linearscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+)
+
+func TestScanMatchesBruteForce(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(6, 6, 6, 1.0/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	if s.Name() != "LinearScan" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.Step() // must be a no-op
+
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.05+r.Float64()*0.3)
+		if d := query.Diff(s.Query(q, nil), query.BruteForce(m, q)); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+	if s.MemoryFootprint() != 0 {
+		t.Errorf("scan footprint = %d, want 0", s.MemoryFootprint())
+	}
+}
+
+func TestScanEmptyMesh(t *testing.T) {
+	m, err := mesh.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	if got := s.Query(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), nil); len(got) != 0 {
+		t.Errorf("empty mesh query = %v", got)
+	}
+}
+
+func TestScanSeesLiveState(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(3, 3, 3, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m)
+	far := geom.V(9, 9, 9)
+	m.SetPosition(0, far)
+	got := s.Query(geom.BoxAround(far, 0.1), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("moved vertex not found: %v", got)
+	}
+}

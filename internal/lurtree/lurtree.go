@@ -1,0 +1,87 @@
+// Package lurtree implements the Lazy Update R-tree (Kwon, Lee, Lee —
+// Mobile Data Management 2002), one of the paper's two spatio-temporal
+// baselines: point entries are updated in place when the moved object
+// remains inside its leaf's minimum bounding rectangle, and only escaping
+// objects pay for a delete + re-insert.
+//
+// Under the paper's workload — every vertex moves every step — even the
+// cheap path must touch every object once per step, which is why the
+// LUR-Tree spends ~80% of its query response time on maintenance (§V-B).
+package lurtree
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/rtree"
+)
+
+// Engine is the LUR-Tree query engine.
+type Engine struct {
+	m    *mesh.Mesh
+	tree *rtree.Tree
+
+	// stats
+	lazyUpdates int64
+	reinserts   int64
+}
+
+// New bulk-loads the LUR-Tree over the mesh's current positions. fanout
+// <= 0 uses the paper's fanout of 110.
+func New(m *mesh.Mesh, fanout int) *Engine {
+	if fanout <= 0 {
+		fanout = rtree.DefaultFanout
+	}
+	n := m.NumVertices()
+	ids := make([]int32, n)
+	boxes := make([]geom.AABB, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int32(i)
+		p := m.Position(int32(i))
+		boxes[i] = geom.AABB{Min: p, Max: p}
+	}
+	return &Engine{m: m, tree: rtree.BulkLoad(ids, boxes, fanout)}
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "LUR-Tree" }
+
+// Step implements query.Engine: apply the lazy-update rule to every vertex.
+func (e *Engine) Step() {
+	pos := e.m.Positions()
+	for i := range pos {
+		id := int32(i)
+		p := pos[i]
+		box := geom.AABB{Min: p, Max: p}
+		if e.tree.UpdateInPlace(id, box) {
+			e.lazyUpdates++
+			continue
+		}
+		// The object escaped its leaf MBR: structural update.
+		if err := e.tree.Delete(id); err == nil {
+			e.tree.Insert(id, box)
+			e.reinserts++
+		}
+	}
+}
+
+// Query implements query.Engine. Entries are exact point boxes, so every
+// intersecting entry is a result.
+func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
+	e.tree.Search(q, func(id int32, _ geom.AABB) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// MemoryFootprint implements query.Engine.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+
+// Tree exposes the underlying R-tree for invariant checks in tests.
+func (e *Engine) Tree() *rtree.Tree { return e.tree }
+
+// MaintenanceCounts returns how many updates took the lazy path and how
+// many required delete + re-insert.
+func (e *Engine) MaintenanceCounts() (lazy, reinserts int64) {
+	return e.lazyUpdates, e.reinserts
+}

@@ -1,0 +1,88 @@
+package lurtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func TestQueryMatchesBruteForceUnderSimulation(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, 16) // small fanout stresses structure maintenance
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+	if err := e.Tree().CheckInvariants(); err != nil {
+		t.Fatalf("after bulk load: %v", err)
+	}
+
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.02, Frequency: 3, Seed: 1})
+	r := rand.New(rand.NewSource(2))
+	for step := 0; step < 8; step++ {
+		s.Step()
+		e.Step()
+		if err := e.Tree().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := 0; i < 8; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.15)
+			got := e.Query(q, nil)
+			want := query.BruteForce(m, q)
+			if d := query.Diff(got, want); d != "" {
+				t.Fatalf("step %d query %d: %s", step, i, d)
+			}
+		}
+	}
+}
+
+func TestLazyPathDominatesForSmallMoves(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(6, 6, 6, 1.0/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, 0) // default fanout -> large leaf MBRs -> lazy path common
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.001, Frequency: 2, Seed: 3})
+	for step := 0; step < 5; step++ {
+		s.Step()
+		e.Step()
+	}
+	lazy, reinserts := e.MaintenanceCounts()
+	if lazy == 0 {
+		t.Fatal("lazy path never taken")
+	}
+	if reinserts > lazy {
+		t.Errorf("reinserts (%d) exceed lazy updates (%d) for tiny moves", reinserts, lazy)
+	}
+	if e.MemoryFootprint() <= 0 {
+		t.Error("non-positive footprint")
+	}
+}
+
+func TestLargeJumpForcesReinsert(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, 8)
+	// Teleport one vertex far away; the lazy path cannot absorb it.
+	m.SetPosition(0, geom.V(50, 50, 50))
+	e.Step()
+	_, reinserts := e.MaintenanceCounts()
+	if reinserts == 0 {
+		t.Fatal("teleport did not trigger a reinsert")
+	}
+	got := e.Query(geom.BoxAround(geom.V(50, 50, 50), 1), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("teleported vertex not found: %v", got)
+	}
+	if err := e.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

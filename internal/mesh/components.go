@@ -1,0 +1,34 @@
+package mesh
+
+// ConnectedComponents returns the number of connected components of the
+// mesh graph and a label array mapping each vertex to its component id in
+// [0, count). Isolated vertices (possible after restructuring) each form
+// their own component.
+func (m *Mesh) ConnectedComponents() (count int, labels []int32) {
+	n := int32(m.NumVertices())
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range m.Neighbors(v) {
+				if labels[w] == -1 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count, labels
+}

@@ -1,0 +1,235 @@
+// Package mesh implements the in-memory polyhedral mesh store that OCTOPUS
+// operates on: an adjacency-list representation of a 3-D tetrahedral /
+// hexahedral mesh (paper §III-A), with
+//
+//   - an immutable connectivity core (CSR adjacency) that survives arbitrary
+//     in-place deformation of vertex positions,
+//   - extraction of the mesh surface via the global face list (§IV-E1),
+//   - rare connectivity restructuring (cell split / delete) with incremental
+//     surface maintenance deltas (§IV-E2), and
+//   - Hilbert-order data reorganization for crawl cache locality (§IV-H1).
+//
+// A Mesh is safe for concurrent readers. Deformation and restructuring must
+// not run concurrently with queries; this mirrors the paper's simulation
+// loop where the mesh is updated, then monitored, in strictly alternating
+// phases.
+package mesh
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+)
+
+// CellType identifies the polyhedral primitive of a cell.
+type CellType uint8
+
+const (
+	// Tetrahedron is a 4-vertex, 4-triangle-face cell.
+	Tetrahedron CellType = iota
+	// Hexahedron is an 8-vertex, 6-quad-face cell.
+	Hexahedron
+)
+
+// String implements fmt.Stringer.
+func (t CellType) String() string {
+	switch t {
+	case Tetrahedron:
+		return "tetrahedron"
+	case Hexahedron:
+		return "hexahedron"
+	default:
+		return fmt.Sprintf("CellType(%d)", uint8(t))
+	}
+}
+
+// Cell is one polyhedron of the mesh. For tetrahedra only Verts[:4] is
+// meaningful. A cell whose Dead flag is set has been removed by
+// restructuring and must be skipped.
+type Cell struct {
+	Type  CellType
+	Dead  bool
+	Verts [8]int32
+}
+
+// VertexCount returns the number of vertices of the cell's primitive.
+func (c *Cell) VertexCount() int {
+	if c.Type == Tetrahedron {
+		return 4
+	}
+	return 8
+}
+
+// Mesh is the memory-resident mesh dataset. Vertex positions are mutable in
+// place (mesh deformation); connectivity is immutable except through the
+// restructuring operations in restructure.go.
+type Mesh struct {
+	pos []geom.Vec3
+
+	// CSR adjacency over vertices: the neighbours of vertex v are
+	// adjList[adjStart[v]:adjStart[v+1]].
+	adjStart []int32
+	adjList  []int32
+
+	// patched holds replacement neighbour lists for vertices whose
+	// connectivity changed after restructuring. It overlays the CSR base;
+	// the common (never-restructured) path never touches the map.
+	patched map[int32][]int32
+
+	cells []Cell
+
+	// liveCells counts cells with Dead == false.
+	liveCells int
+
+	// restructuring state, built lazily by EnableRestructuring.
+	faces     *faceTable
+	incidence *incidenceTable
+}
+
+// NumVertices returns the number of vertices, including vertices added by
+// restructuring.
+func (m *Mesh) NumVertices() int { return len(m.pos) }
+
+// NumCells returns the number of live (non-deleted) cells.
+func (m *Mesh) NumCells() int { return m.liveCells }
+
+// Cells returns the backing cell slice, including dead cells. Callers must
+// check Cell.Dead. The slice must not be modified.
+func (m *Mesh) Cells() []Cell { return m.cells }
+
+// Position returns the current position of vertex v.
+func (m *Mesh) Position(v int32) geom.Vec3 { return m.pos[v] }
+
+// SetPosition moves vertex v in place. This is the paper's "mesh
+// deformation" update: connectivity (and therefore the surface index) is
+// unaffected.
+func (m *Mesh) SetPosition(v int32, p geom.Vec3) { m.pos[v] = p }
+
+// Positions returns the live position array. Callers may mutate elements to
+// deform the mesh in bulk (the simulation's in-place update) but must not
+// grow or reallocate the slice.
+func (m *Mesh) Positions() []geom.Vec3 { return m.pos }
+
+// Neighbors returns the vertex ids adjacent to v (connected by a cell
+// edge). The returned slice aliases internal storage and must not be
+// modified.
+func (m *Mesh) Neighbors(v int32) []int32 {
+	if m.patched != nil {
+		if p, ok := m.patched[v]; ok {
+			return p
+		}
+	}
+	return m.adjList[m.adjStart[v]:m.adjStart[v+1]]
+}
+
+// Degree returns the number of neighbours of vertex v.
+func (m *Mesh) Degree(v int32) int { return len(m.Neighbors(v)) }
+
+// NumEdges returns the number of undirected edges.
+func (m *Mesh) NumEdges() int {
+	total := 0
+	for v := int32(0); v < int32(len(m.pos)); v++ {
+		total += m.Degree(v)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the mesh degree M of the paper's analytical model: the
+// average number of edges per vertex.
+func (m *Mesh) AvgDegree() float64 {
+	if len(m.pos) == 0 {
+		return 0
+	}
+	total := 0
+	for v := int32(0); v < int32(len(m.pos)); v++ {
+		total += m.Degree(v)
+	}
+	return float64(total) / float64(len(m.pos))
+}
+
+// Bounds returns the tight axis-aligned bounding box of all vertices at
+// their current positions. It is O(V); during a simulation it is typically
+// computed at most once per time step.
+func (m *Mesh) Bounds() geom.AABB {
+	b := geom.EmptyBox()
+	for _, p := range m.pos {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// MemoryBytes estimates the resident size of the mesh dataset itself
+// (positions, adjacency, cells). Index structures report their own
+// footprints separately, matching the paper's accounting where the mesh is
+// given and only auxiliary structures count as overhead.
+func (m *Mesh) MemoryBytes() int64 {
+	bytes := int64(len(m.pos)) * 24
+	bytes += int64(len(m.adjStart)) * 4
+	bytes += int64(len(m.adjList)) * 4
+	bytes += int64(len(m.cells)) * 34
+	for _, p := range m.patched {
+		bytes += int64(len(p))*4 + 16
+	}
+	return bytes
+}
+
+// Validate checks internal structural invariants. It is intended for tests
+// and dataset generators, not hot paths.
+func (m *Mesh) Validate() error {
+	n := int32(len(m.pos))
+	if len(m.adjStart) != int(n)+1 {
+		return fmt.Errorf("mesh: adjStart length %d, want %d", len(m.adjStart), n+1)
+	}
+	for v := int32(0); v < n; v++ {
+		if m.adjStart[v] > m.adjStart[v+1] {
+			return fmt.Errorf("mesh: adjStart not monotone at %d", v)
+		}
+		prev := int32(-1)
+		for _, w := range m.Neighbors(v) {
+			if w < 0 || w >= n {
+				return fmt.Errorf("mesh: vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("mesh: vertex %d has a self-loop", v)
+			}
+			if w == prev {
+				return fmt.Errorf("mesh: vertex %d has duplicate neighbour %d", v, w)
+			}
+			prev = w
+		}
+	}
+	// Symmetry: every edge must appear in both directions.
+	for v := int32(0); v < n; v++ {
+		for _, w := range m.Neighbors(v) {
+			if !contains(m.Neighbors(w), v) {
+				return fmt.Errorf("mesh: edge %d->%d not symmetric", v, w)
+			}
+		}
+	}
+	live := 0
+	for i := range m.cells {
+		c := &m.cells[i]
+		if c.Dead {
+			continue
+		}
+		live++
+		for k := 0; k < c.VertexCount(); k++ {
+			if c.Verts[k] < 0 || c.Verts[k] >= n {
+				return fmt.Errorf("mesh: cell %d has out-of-range vertex %d", i, c.Verts[k])
+			}
+		}
+	}
+	if live != m.liveCells {
+		return fmt.Errorf("mesh: liveCells %d, counted %d", m.liveCells, live)
+	}
+	return nil
+}
+
+func contains(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/geom"
+	"octopus/internal/hilbert"
+)
+
+// Renumber returns a copy of the mesh with vertices renumbered (and
+// stored) according to perm, where perm[old] = new. Cells and adjacency
+// are remapped; the receiver is untouched. Renumbering a restructured mesh
+// is not supported — renumber first, restructure later.
+//
+// Vertex layout is the lever behind both data-organization optimizations
+// of this reproduction: Hilbert ordering for crawl cache locality (paper
+// §IV-H1) and surface-first ordering, which stores the surface index's
+// vertices contiguously so the surface probe costs the model's sequential
+// unit cost CS rather than a cache-line-per-vertex gather.
+func (m *Mesh) Renumber(perm []int32) (*Mesh, error) {
+	n := len(m.pos)
+	if len(m.patched) != 0 {
+		return nil, fmt.Errorf("mesh: cannot renumber after restructuring")
+	}
+	if len(perm) != n {
+		return nil, fmt.Errorf("mesh: perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("mesh: perm is not a permutation")
+		}
+		seen[p] = true
+	}
+
+	pos := make([]geom.Vec3, n)
+	for old := 0; old < n; old++ {
+		pos[perm[old]] = m.pos[old]
+	}
+
+	adjStart := make([]int32, n+1)
+	for old := int32(0); old < int32(n); old++ {
+		adjStart[perm[old]+1] = int32(len(m.Neighbors(old)))
+	}
+	for v := 0; v < n; v++ {
+		adjStart[v+1] += adjStart[v]
+	}
+	adjList := make([]int32, adjStart[n])
+	for old := int32(0); old < int32(n); old++ {
+		nv := perm[old]
+		dst := adjList[adjStart[nv]:adjStart[nv+1]]
+		for i, w := range m.Neighbors(old) {
+			dst[i] = perm[w]
+		}
+		sortInt32(dst)
+	}
+
+	cells := make([]Cell, 0, m.liveCells)
+	for i := range m.cells {
+		c := m.cells[i]
+		if c.Dead {
+			continue
+		}
+		for k := 0; k < c.VertexCount(); k++ {
+			c.Verts[k] = perm[c.Verts[k]]
+		}
+		cells = append(cells, c)
+	}
+
+	return &Mesh{
+		pos:       pos,
+		adjStart:  adjStart,
+		adjList:   adjList,
+		cells:     cells,
+		liveCells: len(cells),
+	}, nil
+}
+
+// HilbertPerm returns the permutation (old → new) that orders vertices by
+// the Hilbert index of their current position.
+func (m *Mesh) HilbertPerm(order uint) []int32 {
+	n := len(m.pos)
+	mapper := hilbert.NewMapper(order, m.Bounds())
+	keys := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		keys[v] = mapper.Index(m.pos[v])
+	}
+	return permFromKeys(keys)
+}
+
+// SurfaceFirstPerm returns the permutation that stable-partitions the
+// vertices so all surface vertices come first (preserving their current
+// relative order), followed by all interior vertices.
+func (m *Mesh) SurfaceFirstPerm() []int32 {
+	return m.surfaceFirst(nil)
+}
+
+// SurfaceFirstHilbertPerm combines both layouts: surface vertices first,
+// interior after, each group internally in Hilbert order — dense probes
+// and cache-friendly crawls at once.
+func (m *Mesh) SurfaceFirstHilbertPerm(order uint) []int32 {
+	return m.surfaceFirst(m.HilbertPerm(order))
+}
+
+// surfaceFirst builds a surface-first permutation; within indexes the
+// groups (old → rank) or nil for natural order.
+func (m *Mesh) surfaceFirst(within []int32) []int32 {
+	n := len(m.pos)
+	onSurface := make([]bool, n)
+	surfCount := 0
+	for _, v := range m.SurfaceVertices() {
+		onSurface[v] = true
+		surfCount++
+	}
+	rank := func(old int32) int32 {
+		if within == nil {
+			return old
+		}
+		return within[old]
+	}
+	order := make([]int32, n) // order[i] = old id in output position order
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if onSurface[va] != onSurface[vb] {
+			return onSurface[va]
+		}
+		return rank(va) < rank(vb)
+	})
+	perm := make([]int32, n)
+	for newID, old := range order {
+		perm[old] = int32(newID)
+	}
+	return perm
+}
+
+// ReorderHilbert returns a copy of the mesh in Hilbert order plus the
+// permutation used; it is Renumber(HilbertPerm(order)).
+func (m *Mesh) ReorderHilbert(order uint) (*Mesh, []int32, error) {
+	perm := m.HilbertPerm(order)
+	rm, err := m.Renumber(perm)
+	return rm, perm, err
+}
+
+// permFromKeys converts sort keys into a permutation (old → new), breaking
+// ties by old id.
+func permFromKeys(keys []uint64) []int32 {
+	n := len(keys)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] < keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	perm := make([]int32, n)
+	for newID, old := range order {
+		perm[old] = int32(newID)
+	}
+	return perm
+}

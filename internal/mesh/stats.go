@@ -1,0 +1,40 @@
+package mesh
+
+import "fmt"
+
+// Stats summarizes a dataset the way the paper's dataset tables (Figs. 4, 8
+// and 14) do.
+type Stats struct {
+	Vertices        int
+	Cells           int
+	Edges           int
+	AvgDegree       float64 // M: average number of edges per vertex
+	SurfaceVertices int
+	SurfaceRatio    float64 // S: surface vertices / total vertices
+	MemoryBytes     int64
+}
+
+// ComputeStats gathers dataset characteristics. It is O(V + E + cells) and
+// intended for dataset characterization, not per-query use.
+func ComputeStats(m *Mesh) Stats {
+	surf := m.SurfaceVertices()
+	s := Stats{
+		Vertices:        m.NumVertices(),
+		Cells:           m.NumCells(),
+		Edges:           m.NumEdges(),
+		AvgDegree:       m.AvgDegree(),
+		SurfaceVertices: len(surf),
+		MemoryBytes:     m.MemoryBytes(),
+	}
+	if s.Vertices > 0 {
+		s.SurfaceRatio = float64(len(surf)) / float64(s.Vertices)
+	}
+	return s
+}
+
+// String renders the stats as a single descriptive line.
+func (s Stats) String() string {
+	return fmt.Sprintf("vertices=%d cells=%d edges=%d degree=%.2f surface=%d S:V=%.4f mem=%.1fMB",
+		s.Vertices, s.Cells, s.Edges, s.AvgDegree, s.SurfaceVertices, s.SurfaceRatio,
+		float64(s.MemoryBytes)/(1<<20))
+}

@@ -1,0 +1,91 @@
+package meshgen
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Animation datasets: volumetric stand-ins for the three Sumner–Popović
+// deforming mesh sequences of the paper's Figure 14. The paper's point in
+// Figure 15 is that OCTOPUS' speedup over the linear scan tracks the
+// inverse surface-to-volume ratio across the three datasets; the shapes
+// below reproduce the paper's orderings (facial expression has the lowest
+// S:V and the most vertices; horse gallop the fewest vertices and the
+// highest S:V).
+
+// horseShape is an elongated body — the "horse gallop" analog.
+func horseShape() Shape {
+	return Union{
+		Ellipsoid{Center: geom.V(0, 0, 0), SemiAxes: geom.V(2.2, 1.0, 1.0)},
+		Ellipsoid{Center: geom.V(2.2, 0.7, 0), SemiAxes: geom.V(0.9, 0.8, 0.7)}, // neck+head
+	}
+}
+
+// faceShape is a large compact head — the "facial expression" analog; being
+// the most compact it has the lowest surface-to-volume ratio.
+func faceShape() Shape {
+	return Ellipsoid{Center: geom.V(0, 0, 0), SemiAxes: geom.V(1.25, 1.45, 1.25)}
+}
+
+// camelShape is a two-humped body — the "camel compress" analog.
+func camelShape() Shape {
+	return Union{
+		Ellipsoid{Center: geom.V(0, 0, 0), SemiAxes: geom.V(2.0, 0.9, 0.9)},
+		Sphere{Center: geom.V(-0.7, 0.9, 0), Radius: 0.75},
+		Sphere{Center: geom.V(0.8, 0.9, 0), Radius: 0.75},
+	}
+}
+
+// Animation dataset identifiers.
+const (
+	AnimHorse = "horse-gallop"
+	AnimFace  = "facial-expression"
+	AnimCamel = "camel-compress"
+)
+
+// AnimationSteps returns the number of time steps of each animation
+// sequence, matching the paper's Figure 14 (48 / 9 / 53).
+func AnimationSteps(name string) (int, error) {
+	switch name {
+	case AnimHorse:
+		return 48, nil
+	case AnimFace:
+		return 9, nil
+	case AnimCamel:
+		return 53, nil
+	}
+	return 0, fmt.Errorf("meshgen: unknown animation %q", name)
+}
+
+// animCells gives the body radius in grid cells per dataset, sized so the
+// surface-to-volume ordering matches the paper: face < camel < horse.
+var animCells = map[string]float64{
+	AnimHorse: 11,
+	AnimFace:  24,
+	AnimCamel: 14,
+}
+
+// BuildAnimation builds one of the three deforming-mesh datasets. scale ≥ 1
+// refines the grid.
+func BuildAnimation(name string, scale float64) (*mesh.Mesh, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("meshgen: scale %g must be >= 1", scale)
+	}
+	cells, ok := animCells[name]
+	if !ok {
+		return nil, fmt.Errorf("meshgen: unknown animation %q", name)
+	}
+	var s Shape
+	switch name {
+	case AnimHorse:
+		s = horseShape()
+	case AnimFace:
+		s = faceShape()
+	case AnimCamel:
+		s = camelShape()
+	}
+	h := 1.0 / (cells * scale)
+	return Voxelize(s, h)
+}

@@ -1,0 +1,133 @@
+package meshgen
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"octopus/internal/mesh"
+)
+
+// Dataset identifies one of the named evaluation datasets of the paper.
+type Dataset string
+
+// The dataset families of the paper's evaluation:
+// NeuroL1..L5 mirror the five neuroscience detail levels of Figure 4,
+// EqSF2/EqSF1 the two convex earthquake meshes of Figure 8, and
+// DSHorse/DSFace/DSCamel the three deforming animation meshes of Figure 14.
+const (
+	NeuroL1 Dataset = "neuro-l1"
+	NeuroL2 Dataset = "neuro-l2"
+	NeuroL3 Dataset = "neuro-l3"
+	NeuroL4 Dataset = "neuro-l4"
+	NeuroL5 Dataset = "neuro-l5"
+	EqSF2   Dataset = "earthquake-sf2"
+	EqSF1   Dataset = "earthquake-sf1"
+	DSHorse Dataset = Dataset(AnimHorse)
+	DSFace  Dataset = Dataset(AnimFace)
+	DSCamel Dataset = Dataset(AnimCamel)
+)
+
+// NeuroLevel returns the neuroscience dataset of the given detail level.
+func NeuroLevel(level int) Dataset {
+	return Dataset(fmt.Sprintf("neuro-l%d", level))
+}
+
+// AllDatasets lists every named dataset.
+func AllDatasets() []Dataset {
+	return []Dataset{
+		NeuroL1, NeuroL2, NeuroL3, NeuroL4, NeuroL5,
+		EqSF2, EqSF1, DSHorse, DSFace, DSCamel,
+	}
+}
+
+// Scale reads the global dataset scale factor from the OCTOPUS_SCALE
+// environment variable (default 1). Values > 1 refine every generated grid,
+// pushing surface-to-volume ratios towards the paper's (smaller) values at
+// the price of proportionally larger meshes.
+func Scale() float64 {
+	if s := os.Getenv("OCTOPUS_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f >= 1 {
+			return f
+		}
+	}
+	return 1
+}
+
+// Build constructs a named dataset at the given scale (use Scale() for the
+// environment default). Datasets are stored surface-first with Hilbert
+// secondary order: the vertices of the mesh surface occupy a contiguous id
+// prefix (so OCTOPUS' surface probe scans densely packed memory — the data
+// organization that preserves the analytical model's sequential probe cost
+// CS at laptop-scale surface-to-volume ratios, see DESIGN.md §3), and each
+// partition is Hilbert-sorted for crawl locality (§IV-H1).
+func Build(id Dataset, scale float64) (*mesh.Mesh, error) {
+	m, err := buildRaw(id, scale)
+	if err != nil {
+		return nil, err
+	}
+	return m.Renumber(m.SurfaceFirstHilbertPerm(10))
+}
+
+// buildRaw constructs the dataset in the generator's native vertex order.
+func buildRaw(id Dataset, scale float64) (*mesh.Mesh, error) {
+	switch id {
+	case NeuroL1, NeuroL2, NeuroL3, NeuroL4, NeuroL5:
+		level := int(id[len(id)-1] - '0')
+		return BuildNeuron(level, scale)
+	case EqSF2:
+		n := int(34 * scale)
+		return BuildBoxTet(n, n, n, 1.0/float64(n))
+	case EqSF1:
+		n := int(58 * scale)
+		return BuildBoxTet(n, n, n, 1.0/float64(n))
+	case DSHorse, DSFace, DSCamel:
+		return BuildAnimation(string(id), scale)
+	}
+	return nil, fmt.Errorf("meshgen: unknown dataset %q", id)
+}
+
+// cache memoizes built datasets per (id, scale) so experiment drivers that
+// share datasets do not regenerate them. Meshes are deformed in place by
+// simulations, so cached entries are deep-copied positions-wise on reuse —
+// cheapest is to cache and hand out the mesh plus a pristine position copy.
+var cache sync.Map // key string -> *cachedDataset
+
+type cachedDataset struct {
+	once sync.Once
+	m    *mesh.Mesh
+	orig []float64 // flattened pristine positions
+	err  error
+}
+
+// BuildCached returns a named dataset, memoized per (id, scale). The
+// returned mesh's positions are reset to their pristine state on every
+// call, so successive experiments each start from the undeformed dataset.
+// Callers must not use two BuildCached meshes of the same id concurrently.
+func BuildCached(id Dataset, scale float64) (*mesh.Mesh, error) {
+	key := fmt.Sprintf("%s@%g", id, scale)
+	v, _ := cache.LoadOrStore(key, &cachedDataset{})
+	c := v.(*cachedDataset)
+	c.once.Do(func() {
+		c.m, c.err = Build(id, scale)
+		if c.err != nil {
+			return
+		}
+		pos := c.m.Positions()
+		c.orig = make([]float64, 0, len(pos)*3)
+		for _, p := range pos {
+			c.orig = append(c.orig, p.X, p.Y, p.Z)
+		}
+	})
+	if c.err != nil {
+		return nil, c.err
+	}
+	pos := c.m.Positions()
+	for i := range pos {
+		pos[i].X = c.orig[i*3]
+		pos[i].Y = c.orig[i*3+1]
+		pos[i].Z = c.orig[i*3+2]
+	}
+	return c.m, nil
+}

@@ -1,0 +1,58 @@
+package meshgen
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// NeuronLevels is the number of detail levels of the neuroscience dataset
+// family, mirroring the five datasets of the paper's Figure 4.
+const NeuronLevels = 5
+
+// neuronSomaCells gives, per detail level, the soma radius measured in grid
+// cells. Higher levels refine the grid, which grows the vertex count
+// roughly cubically while the surface grows quadratically — exactly the
+// "surface-to-volume ratio shrinks with detail" property (paper §IV-C) that
+// drives Figures 7(a–d).
+var neuronSomaCells = [NeuronLevels]float64{10, 12.5, 16, 20, 25}
+
+// neuronShape models two interleaved neuron cells: each has a spherical
+// soma and several capsule dendrite branches. The two cells are disjoint
+// solids, so range queries spanning both retrieve disjoint sub-meshes —
+// the non-convex scenario of the paper's Figure 3 that makes the surface
+// probe necessary.
+func neuronShape() Shape {
+	branch := func(ax, ay, az, bx, by, bz, r float64) Capsule {
+		return Capsule{A: geom.V(ax, ay, az), B: geom.V(bx, by, bz), Radius: r}
+	}
+	neuronA := Union{
+		Sphere{Center: geom.V(0, 0, 0), Radius: 1.0},
+		branch(0, 0, 0, 2.6, 0.7, 0.3, 0.50),
+		branch(0, 0, 0, -1.9, 1.8, 0.1, 0.46),
+		branch(0, 0, 0, 0.3, -2.2, 0.8, 0.46),
+		branch(2.6, 0.7, 0.3, 3.9, 1.8, 0.7, 0.36),
+	}
+	neuronB := Union{
+		Sphere{Center: geom.V(3.2, 3.6, 1.0), Radius: 0.9},
+		branch(3.2, 3.6, 1.0, 1.0, 3.3, 0.7, 0.45),
+		branch(3.2, 3.6, 1.0, 4.9, 2.6, 1.4, 0.40),
+		branch(3.2, 3.6, 1.0, 3.5, 5.6, 0.6, 0.42),
+	}
+	return Union{neuronA, neuronB}
+}
+
+// BuildNeuron builds the neuroscience-style dataset at detail level 1..5.
+// scale ≥ 1 further refines the grid (for closer-to-paper surface ratios at
+// the price of larger meshes); pass 1 for the default laptop-scale dataset.
+func BuildNeuron(level int, scale float64) (*mesh.Mesh, error) {
+	if level < 1 || level > NeuronLevels {
+		return nil, fmt.Errorf("meshgen: neuron level %d out of range [1,%d]", level, NeuronLevels)
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("meshgen: scale %g must be >= 1", scale)
+	}
+	h := 1.0 / (neuronSomaCells[level-1] * scale)
+	return Voxelize(neuronShape(), h)
+}

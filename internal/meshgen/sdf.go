@@ -1,0 +1,131 @@
+// Package meshgen generates the synthetic mesh datasets used to reproduce
+// the paper's evaluation. The paper measures on proprietary Blue Brain
+// neuron meshes, Archimedes earthquake meshes and the Sumner–Popović
+// deforming animation meshes; none of those are redistributable, so this
+// package builds geometric stand-ins whose *model parameters* — vertex
+// count V, mesh degree M, surface-to-volume ratio S — reproduce the
+// characteristics the paper's analytical model depends on (see DESIGN.md §3).
+//
+// All volumetric datasets are conforming tetrahedral meshes obtained by
+// voxelizing a signed-distance shape onto a cubic grid and splitting each
+// inside-cube into 6 Kuhn tetrahedra. Kuhn subdivision is translation
+// invariant, so neighbouring cubes share face diagonals and the resulting
+// mesh is watertight with interior faces shared by exactly two cells.
+package meshgen
+
+import (
+	"math"
+
+	"octopus/internal/geom"
+)
+
+// Shape is a solid region of space given by a signed-distance-style
+// function: Dist(p) < 0 means p is inside. Exact signed distance is not
+// required — any continuous function with the correct sign works.
+type Shape interface {
+	// Dist returns a signed distance-like value, negative inside the solid.
+	Dist(p geom.Vec3) float64
+	// Bounds returns a box enclosing the solid.
+	Bounds() geom.AABB
+}
+
+// Sphere is a solid ball.
+type Sphere struct {
+	Center geom.Vec3
+	Radius float64
+}
+
+// Dist implements Shape.
+func (s Sphere) Dist(p geom.Vec3) float64 { return p.Dist(s.Center) - s.Radius }
+
+// Bounds implements Shape.
+func (s Sphere) Bounds() geom.AABB { return geom.BoxAround(s.Center, s.Radius) }
+
+// Ellipsoid is a solid axis-aligned ellipsoid.
+type Ellipsoid struct {
+	Center   geom.Vec3
+	SemiAxes geom.Vec3
+}
+
+// Dist implements Shape. It is a scaled pseudo-distance (exact sign, not
+// exact magnitude), which is sufficient for voxelization.
+func (e Ellipsoid) Dist(p geom.Vec3) float64 {
+	d := p.Sub(e.Center)
+	q := geom.V(d.X/e.SemiAxes.X, d.Y/e.SemiAxes.Y, d.Z/e.SemiAxes.Z)
+	minAxis := math.Min(e.SemiAxes.X, math.Min(e.SemiAxes.Y, e.SemiAxes.Z))
+	return (q.Len() - 1) * minAxis
+}
+
+// Bounds implements Shape.
+func (e Ellipsoid) Bounds() geom.AABB {
+	return geom.AABB{Min: e.Center.Sub(e.SemiAxes), Max: e.Center.Add(e.SemiAxes)}
+}
+
+// Capsule is a solid cylinder with hemispherical caps: the segment A–B
+// inflated by Radius. It models neuron branches (dendrite tubes).
+type Capsule struct {
+	A, B   geom.Vec3
+	Radius float64
+}
+
+// Dist implements Shape.
+func (c Capsule) Dist(p geom.Vec3) float64 {
+	ab := c.B.Sub(c.A)
+	t := p.Sub(c.A).Dot(ab)
+	if l2 := ab.Len2(); l2 > 0 {
+		t /= l2
+	} else {
+		t = 0
+	}
+	t = math.Max(0, math.Min(1, t))
+	closest := c.A.Add(ab.Scale(t))
+	return p.Dist(closest) - c.Radius
+}
+
+// Bounds implements Shape.
+func (c Capsule) Bounds() geom.AABB {
+	return geom.Box(c.A, c.B).Grow(c.Radius)
+}
+
+// BoxShape is a solid axis-aligned box.
+type BoxShape struct {
+	Box geom.AABB
+}
+
+// Dist implements Shape.
+func (b BoxShape) Dist(p geom.Vec3) float64 {
+	if b.Box.Contains(p) {
+		// Negative distance to the nearest face.
+		d := math.Min(p.X-b.Box.Min.X, b.Box.Max.X-p.X)
+		d = math.Min(d, math.Min(p.Y-b.Box.Min.Y, b.Box.Max.Y-p.Y))
+		d = math.Min(d, math.Min(p.Z-b.Box.Min.Z, b.Box.Max.Z-p.Z))
+		return -d
+	}
+	return b.Box.Dist(p)
+}
+
+// Bounds implements Shape.
+func (b BoxShape) Bounds() geom.AABB { return b.Box }
+
+// Union is the solid union of several shapes.
+type Union []Shape
+
+// Dist implements Shape.
+func (u Union) Dist(p geom.Vec3) float64 {
+	d := math.Inf(1)
+	for _, s := range u {
+		if sd := s.Dist(p); sd < d {
+			d = sd
+		}
+	}
+	return d
+}
+
+// Bounds implements Shape.
+func (u Union) Bounds() geom.AABB {
+	b := geom.EmptyBox()
+	for _, s := range u {
+		b = b.Union(s.Bounds())
+	}
+	return b
+}

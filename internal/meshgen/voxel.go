@@ -1,0 +1,166 @@
+package meshgen
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// kuhnTets lists the 6 tetrahedra of the Kuhn subdivision of a unit cube.
+// Cube corners are indexed by coordinate bits (bit0 = x, bit1 = y,
+// bit2 = z); every tetrahedron contains the main diagonal 0–7, which makes
+// the subdivision translation invariant and therefore conforming across
+// neighbouring cubes.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7}, {0, 1, 5, 7}, {0, 2, 3, 7},
+	{0, 2, 6, 7}, {0, 4, 5, 7}, {0, 4, 6, 7},
+}
+
+// Voxelize builds a conforming tetrahedral mesh of the solid shape: every
+// grid cube of edge length h whose center lies inside the shape is split
+// into 6 Kuhn tetrahedra; vertices shared between cubes are deduplicated.
+//
+// The construction guarantees the invariants OCTOPUS relies on: every
+// interior face is shared by exactly two tetrahedra, and the surface is
+// exactly the set of once-occurring faces.
+func Voxelize(s Shape, h float64) (*mesh.Mesh, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("meshgen: cell size %g must be positive", h)
+	}
+	bounds := s.Bounds().Grow(h)
+	size := bounds.Size()
+	nx := int(size.X/h) + 1
+	ny := int(size.Y/h) + 1
+	nz := int(size.Z/h) + 1
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("meshgen: shape bounds %v degenerate", bounds)
+	}
+	const maxCubes = 1 << 28
+	if int64(nx)*int64(ny)*int64(nz) > maxCubes {
+		return nil, fmt.Errorf("meshgen: %dx%dx%d grid too large; increase cell size", nx, ny, nz)
+	}
+
+	// First pass: mark inside cubes by center test.
+	inside := make([]bool, nx*ny*nz)
+	cubeIdx := func(x, y, z int) int { return x + y*nx + z*nx*ny }
+	count := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				c := geom.V(
+					bounds.Min.X+(float64(x)+0.5)*h,
+					bounds.Min.Y+(float64(y)+0.5)*h,
+					bounds.Min.Z+(float64(z)+0.5)*h,
+				)
+				if s.Dist(c) < 0 {
+					inside[cubeIdx(x, y, z)] = true
+					count++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("meshgen: shape produced no cells at cell size %g", h)
+	}
+
+	// Second pass: emit vertices (deduplicated via a dense grid-id map) and
+	// tetrahedra.
+	b := mesh.NewBuilder(count+count/2, count*6)
+	vertID := make(map[int64]int32, count*2)
+	vid := func(x, y, z int) int32 {
+		key := int64(x) + int64(y)<<21 + int64(z)<<42
+		if id, ok := vertID[key]; ok {
+			return id
+		}
+		id := b.AddVertex(geom.V(
+			bounds.Min.X+float64(x)*h,
+			bounds.Min.Y+float64(y)*h,
+			bounds.Min.Z+float64(z)*h,
+		))
+		vertID[key] = id
+		return id
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if !inside[cubeIdx(x, y, z)] {
+					continue
+				}
+				var corner [8]int32
+				for bit := 0; bit < 8; bit++ {
+					corner[bit] = vid(x+bit&1, y+(bit>>1)&1, z+(bit>>2)&1)
+				}
+				for _, kt := range kuhnTets {
+					b.AddTet(corner[kt[0]], corner[kt[1]], corner[kt[2]], corner[kt[3]])
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BuildBoxTet builds a convex nx×ny×nz-cube tetrahedral block mesh with
+// cell size h and min corner at the origin — the stand-in for the
+// Archimedes earthquake meshes. It avoids the voxelization map by indexing
+// grid vertices directly.
+func BuildBoxTet(nx, ny, nz int, h float64) (*mesh.Mesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 || h <= 0 {
+		return nil, fmt.Errorf("meshgen: invalid box dimensions %dx%dx%d h=%g", nx, ny, nz, h)
+	}
+	b := mesh.NewBuilder((nx+1)*(ny+1)*(nz+1), nx*ny*nz*6)
+	vid := func(x, y, z int) int32 {
+		return int32(x + y*(nx+1) + z*(nx+1)*(ny+1))
+	}
+	for z := 0; z <= nz; z++ {
+		for y := 0; y <= ny; y++ {
+			for x := 0; x <= nx; x++ {
+				b.AddVertex(geom.V(float64(x)*h, float64(y)*h, float64(z)*h))
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				var corner [8]int32
+				for bit := 0; bit < 8; bit++ {
+					corner[bit] = vid(x+bit&1, y+(bit>>1)&1, z+(bit>>2)&1)
+				}
+				for _, kt := range kuhnTets {
+					b.AddTet(corner[kt[0]], corner[kt[1]], corner[kt[2]], corner[kt[3]])
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BuildBoxHex builds a convex nx×ny×nz hexahedral block mesh with cell size
+// h — the hexahedral-primitive variant of Figure 1(b).
+func BuildBoxHex(nx, ny, nz int, h float64) (*mesh.Mesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 || h <= 0 {
+		return nil, fmt.Errorf("meshgen: invalid box dimensions %dx%dx%d h=%g", nx, ny, nz, h)
+	}
+	b := mesh.NewBuilder((nx+1)*(ny+1)*(nz+1), nx*ny*nz)
+	vid := func(x, y, z int) int32 {
+		return int32(x + y*(nx+1) + z*(nx+1)*(ny+1))
+	}
+	for z := 0; z <= nz; z++ {
+		for y := 0; y <= ny; y++ {
+			for x := 0; x <= nx; x++ {
+				b.AddVertex(geom.V(float64(x)*h, float64(y)*h, float64(z)*h))
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				b.AddHex([8]int32{
+					vid(x, y, z), vid(x+1, y, z), vid(x+1, y+1, z), vid(x, y+1, z),
+					vid(x, y, z+1), vid(x+1, y, z+1), vid(x+1, y+1, z+1), vid(x, y+1, z+1),
+				})
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,43 @@
+package octree
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Engine adapts the throwaway octree to the query.Engine lifecycle: every
+// simulation step discards the tree and rebuilds it from the current
+// positions, exactly the strategy of the paper's "lightweight throw-away
+// spatial index" baseline.
+type Engine struct {
+	m      *mesh.Mesh
+	bucket int
+	tree   *Tree
+}
+
+// NewEngine builds the initial tree over m. bucket <= 0 uses
+// DefaultBucketSize.
+func NewEngine(m *mesh.Mesh, bucket int) *Engine {
+	e := &Engine{m: m, bucket: bucket}
+	e.Step()
+	return e
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "OCTREE" }
+
+// Step implements query.Engine: full rebuild from scratch.
+func (e *Engine) Step() {
+	e.tree = Build(e.m.Positions(), e.m.Bounds(), e.bucket)
+}
+
+// Query implements query.Engine.
+func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
+	return e.tree.Query(q, out)
+}
+
+// MemoryFootprint implements query.Engine.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+
+// Tree exposes the current tree for inspection in tests and diagnostics.
+func (e *Engine) Tree() *Tree { return e.tree }

@@ -1,0 +1,207 @@
+// Package octree implements a bucket PR octree over vertex positions: the
+// "lightweight throwaway index" baseline of the paper ([8], Dittrich et
+// al.), rebuilt from scratch at every simulation time step. A node holding
+// more than its bucket capacity splits into eight octants.
+//
+// The build partitions an id array in place, so a rebuild allocates only
+// the node directory — keeping the per-step rebuild as cheap as a
+// throwaway index can be, which is the fairness the paper's comparison
+// needs (99.5% of the Octree's query response time is rebuild).
+package octree
+
+import (
+	"octopus/internal/geom"
+)
+
+// DefaultBucketSize mirrors the paper's bucket strategy ("a node is split
+// into eight children if it contains more than 10,000 vertices") scaled to
+// our dataset sizes; it remains configurable via Build.
+const DefaultBucketSize = 512
+
+// Tree is a bucket PR octree over a snapshot of positions.
+type Tree struct {
+	pos    []geom.Vec3
+	ids    []int32 // permuted id storage; leaves reference subranges
+	nodes  []node
+	bucket int
+}
+
+// node is one octree node. Leaves reference ids[start:start+count];
+// internal nodes reference eight children (child index 0 means "absent" is
+// not possible because node 0 is the root, so -1 marks absent children).
+type node struct {
+	box      geom.AABB
+	children [8]int32 // -1 when absent or leaf
+	start    int32
+	count    int32
+	leaf     bool
+}
+
+// Build constructs the octree over the given positions. bucket <= 0 uses
+// DefaultBucketSize. The positions slice is captured, not copied: an
+// octree is a snapshot index and must be rebuilt after positions change.
+func Build(pos []geom.Vec3, bounds geom.AABB, bucket int) *Tree {
+	if bucket <= 0 {
+		bucket = DefaultBucketSize
+	}
+	t := &Tree{pos: pos, bucket: bucket}
+	t.ids = make([]int32, len(pos))
+	for i := range t.ids {
+		t.ids[i] = int32(i)
+	}
+	// A generous node-count hint avoids re-allocation during build.
+	t.nodes = make([]node, 0, 2*len(pos)/bucket+16)
+	t.build(bounds, 0, len(t.ids), 0)
+	return t
+}
+
+// maxDepth caps subdivision so coincident points cannot recurse forever.
+const maxDepth = 24
+
+// build creates the subtree over ids[lo:hi] and returns its node index.
+func (t *Tree) build(box geom.AABB, lo, hi, depth int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{box: box})
+	n := &t.nodes[idx]
+	if hi-lo <= t.bucket || depth >= maxDepth {
+		n.leaf = true
+		n.start = int32(lo)
+		n.count = int32(hi - lo)
+		for i := range n.children {
+			n.children[i] = -1
+		}
+		return idx
+	}
+	c := box.Center()
+
+	// Three-level in-place partition: by z, then y within each half, then x.
+	mz := t.partition(lo, hi, func(p geom.Vec3) bool { return p.Z < c.Z })
+	var bounds8 [9]int
+	bounds8[0] = lo
+	bounds8[4] = mz
+	bounds8[8] = hi
+	bounds8[2] = t.partition(bounds8[0], bounds8[4], func(p geom.Vec3) bool { return p.Y < c.Y })
+	bounds8[6] = t.partition(bounds8[4], bounds8[8], func(p geom.Vec3) bool { return p.Y < c.Y })
+	bounds8[1] = t.partition(bounds8[0], bounds8[2], func(p geom.Vec3) bool { return p.X < c.X })
+	bounds8[3] = t.partition(bounds8[2], bounds8[4], func(p geom.Vec3) bool { return p.X < c.X })
+	bounds8[5] = t.partition(bounds8[4], bounds8[6], func(p geom.Vec3) bool { return p.X < c.X })
+	bounds8[7] = t.partition(bounds8[6], bounds8[8], func(p geom.Vec3) bool { return p.X < c.X })
+
+	var children [8]int32
+	for oct := 0; oct < 8; oct++ {
+		clo, chi := bounds8[oct], bounds8[oct+1]
+		if clo == chi {
+			children[oct] = -1
+			continue
+		}
+		children[oct] = t.build(t.octantBox(box, c, oct), clo, chi, depth+1)
+		n = &t.nodes[idx] // re-acquire: t.nodes may have been reallocated
+	}
+	n.leaf = false
+	n.children = children
+	return idx
+}
+
+// partition reorders ids[lo:hi] so ids whose position satisfies pred come
+// first, returning the split point.
+func (t *Tree) partition(lo, hi int, pred func(geom.Vec3) bool) int {
+	i := lo
+	for j := lo; j < hi; j++ {
+		if pred(t.pos[t.ids[j]]) {
+			t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+			i++
+		}
+	}
+	return i
+}
+
+// octantBox returns the sub-box of box for octant oct (bit0 = x-high,
+// bit1 = y-high, bit2 = z-high), matching the partition order above where
+// "low" predicate-true ranges come first.
+func (t *Tree) octantBox(box geom.AABB, c geom.Vec3, oct int) geom.AABB {
+	b := box
+	if oct&1 == 0 {
+		b.Max.X = c.X
+	} else {
+		b.Min.X = c.X
+	}
+	if oct&2 == 0 {
+		b.Max.Y = c.Y
+	} else {
+		b.Min.Y = c.Y
+	}
+	if oct&4 == 0 {
+		b.Max.Z = c.Z
+	} else {
+		b.Min.Z = c.Z
+	}
+	return b
+}
+
+// Query appends all ids whose position lies in q to out.
+func (t *Tree) Query(q geom.AABB, out []int32) []int32 {
+	if len(t.nodes) == 0 {
+		return out
+	}
+	return t.query(0, q, out)
+}
+
+func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
+	n := &t.nodes[idx]
+	if !q.Intersects(n.box) {
+		return out
+	}
+	if n.leaf {
+		if q.ContainsBox(n.box) {
+			// Whole-leaf inclusion: no per-point tests needed.
+			out = append(out, t.ids[n.start:n.start+n.count]...)
+			return out
+		}
+		for _, id := range t.ids[n.start : n.start+n.count] {
+			if q.Contains(t.pos[id]) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for _, c := range n.children {
+		if c >= 0 {
+			out = t.query(c, q, out)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the number of octree nodes.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// MemoryBytes returns the octree's footprint: the node directory plus the
+// permuted id array.
+func (t *Tree) MemoryBytes() int64 {
+	const nodeBytes = 48 + 32 + 4 + 4 + 1 + 7 // box + children + start/count + leaf + pad
+	return int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4
+}
+
+// Depth returns the maximum node depth (root = 0), for diagnostics.
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(idx int32) int
+	walk = func(idx int32) int {
+		n := &t.nodes[idx]
+		if n.leaf {
+			return 0
+		}
+		d := 0
+		for _, c := range n.children {
+			if c >= 0 {
+				if cd := walk(c) + 1; cd > d {
+					d = cd
+				}
+			}
+		}
+		return d
+	}
+	return walk(0)
+}

@@ -1,0 +1,170 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func randomPositions(n int, r *rand.Rand) []geom.Vec3 {
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+	}
+	return pos
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pos := randomPositions(5000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	tree := Build(pos, bounds, 64)
+
+	for i := 0; i < 80; i++ {
+		q := geom.BoxAround(geom.V(r.Float64(), r.Float64(), r.Float64()), 0.01+r.Float64()*0.3)
+		got := tree.Query(q, nil)
+		var want []int32
+		for id, p := range pos {
+			if q.Contains(p) {
+				want = append(want, int32(id))
+			}
+		}
+		if d := query.Diff(got, want); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func TestTreeStructureInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pos := randomPositions(4000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	tree := Build(pos, bounds, 100)
+
+	// Every id appears exactly once across leaves, inside its leaf box.
+	seen := make(map[int32]int)
+	for i := range tree.nodes {
+		n := &tree.nodes[i]
+		if !n.leaf {
+			continue
+		}
+		if int(n.count) > 100 && tree.Depth() < maxDepth {
+			t.Errorf("leaf %d holds %d > bucket", i, n.count)
+		}
+		for _, id := range tree.ids[n.start : n.start+n.count] {
+			seen[id]++
+			if !n.box.Grow(1e-9).Contains(pos[id]) {
+				t.Fatalf("vertex %d outside its leaf box", id)
+			}
+		}
+	}
+	if len(seen) != len(pos) {
+		t.Fatalf("leaves hold %d distinct ids, want %d", len(seen), len(pos))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d appears %d times", id, c)
+		}
+	}
+}
+
+func TestEmptyAndTinyTrees(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	empty := Build(nil, bounds, 10)
+	if got := empty.Query(bounds, nil); len(got) != 0 {
+		t.Errorf("empty tree query = %v", got)
+	}
+	one := Build([]geom.Vec3{{X: 0.5, Y: 0.5, Z: 0.5}}, bounds, 10)
+	if got := one.Query(bounds, nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single-point tree query = %v", got)
+	}
+	if got := one.Query(geom.Box(geom.V(0.9, 0.9, 0.9), geom.V(1, 1, 1)), nil); len(got) != 0 {
+		t.Errorf("miss query = %v", got)
+	}
+}
+
+func TestCoincidentPointsTerminate(t *testing.T) {
+	// 1000 identical points cannot be subdivided; the depth cap must stop
+	// recursion.
+	pos := make([]geom.Vec3, 1000)
+	for i := range pos {
+		pos[i] = geom.V(0.25, 0.25, 0.25)
+	}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	tree := Build(pos, bounds, 10)
+	if got := tree.Query(geom.BoxAround(geom.V(0.25, 0.25, 0.25), 0.01), nil); len(got) != 1000 {
+		t.Errorf("query = %d results, want 1000", len(got))
+	}
+	if tree.Depth() > maxDepth {
+		t.Errorf("depth %d exceeds cap", tree.Depth())
+	}
+}
+
+func TestDefaultBucket(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pos := randomPositions(2000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	tree := Build(pos, bounds, 0)
+	if tree.NumNodes() < 1 {
+		t.Error("no nodes")
+	}
+	if tree.MemoryBytes() <= 0 {
+		t.Error("non-positive memory")
+	}
+}
+
+func TestEngineRebuildTracksSimulation(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, 64)
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 3, Seed: 4})
+	r := rand.New(rand.NewSource(5))
+
+	for step := 0; step < 5; step++ {
+		s.Step()
+		e.Step() // rebuild
+		for i := 0; i < 10; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.12)
+			got := e.Query(q, nil)
+			want := query.BruteForce(m, q)
+			if diff := query.Diff(got, want); diff != "" {
+				t.Fatalf("step %d query %d: %s", step, i, diff)
+			}
+		}
+	}
+	if e.Tree() == nil || e.MemoryFootprint() <= 0 {
+		t.Error("engine state broken")
+	}
+}
+
+func BenchmarkRebuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pos := randomPositions(100000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pos, bounds, DefaultBucketSize)
+	}
+}
+
+func BenchmarkQuerySel01(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	pos := randomPositions(100000, r)
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	tree := Build(pos, bounds, DefaultBucketSize)
+	q := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.05)
+	var out []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = tree.Query(q, out[:0])
+	}
+}

@@ -1,0 +1,82 @@
+// Package query defines the common interface every range-query execution
+// strategy implements — OCTOPUS, the linear scan and all competitor indexes
+// — plus shared helpers for comparing engines against the ground truth.
+//
+// The lifecycle mirrors the paper's measurement protocol (§V-A): Build runs
+// once when the mesh is loaded (preprocessing, reported separately);
+// Step runs after every simulation time step's in-place update and carries
+// all index maintenance (rebuilds, lazy updates, window checks) so its cost
+// is charged to the total query response time; Query answers a 3-D range
+// query on the current state.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Engine is a range-query execution strategy over a dynamic mesh.
+// Implementations are single-threaded like the paper's, and Query must not
+// be called concurrently with Step.
+type Engine interface {
+	// Name returns the display name used in experiment reports.
+	Name() string
+
+	// Step performs per-time-step index maintenance after the simulation
+	// has updated vertex positions in place. For OCTOPUS and the linear
+	// scan this is (nearly) a no-op; throwaway indexes rebuild here.
+	Step()
+
+	// Query appends the ids of all vertices whose current position lies in
+	// q to out and returns the extended slice. Order is unspecified.
+	Query(q geom.AABB, out []int32) []int32
+
+	// MemoryFootprint returns the current size in bytes of all auxiliary
+	// data structures (the mesh itself is excluded, as in Figure 6(b)).
+	MemoryFootprint() int64
+}
+
+// Restructurable is implemented by engines that can incrementally apply
+// mesh connectivity changes (the rare restructuring path, §IV-E2) instead
+// of rebuilding.
+type Restructurable interface {
+	// ApplySurfaceDelta folds a restructuring delta into the engine's
+	// auxiliary structures.
+	ApplySurfaceDelta(d mesh.SurfaceDelta)
+}
+
+// SortIDs sorts a result set in place; results have unspecified order, so
+// comparisons normalize first.
+func SortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Diff compares two result sets (destructively sorting both) and returns a
+// description of the first discrepancy, or "" when they match.
+func Diff(got, want []int32) string {
+	SortIDs(got)
+	SortIDs(want)
+	if len(got) != len(want) {
+		return fmt.Sprintf("result size %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// BruteForce returns the ground-truth result of q by scanning positions.
+func BruteForce(m *mesh.Mesh, q geom.AABB) []int32 {
+	var out []int32
+	for i, p := range m.Positions() {
+		if q.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

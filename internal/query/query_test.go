@@ -1,0 +1,54 @@
+package query
+
+import (
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+func TestDiff(t *testing.T) {
+	cases := []struct {
+		got, want []int32
+		match     bool
+	}{
+		{nil, nil, true},
+		{[]int32{3, 1, 2}, []int32{1, 2, 3}, true}, // order-insensitive
+		{[]int32{1, 2}, []int32{1, 2, 3}, false},
+		{[]int32{1, 2, 4}, []int32{1, 2, 3}, false},
+	}
+	for i, c := range cases {
+		d := Diff(append([]int32(nil), c.got...), append([]int32(nil), c.want...))
+		if (d == "") != c.match {
+			t.Errorf("case %d: Diff = %q, want match=%v", i, d, c.match)
+		}
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []int32{5, -1, 3}
+	SortIDs(ids)
+	if ids[0] != -1 || ids[1] != 3 || ids[2] != 5 {
+		t.Errorf("SortIDs = %v", ids)
+	}
+}
+
+func TestBruteForce(t *testing.T) {
+	b := mesh.NewBuilder(4, 1)
+	b.AddVertex(geom.V(0, 0, 0))
+	b.AddVertex(geom.V(1, 0, 0))
+	b.AddVertex(geom.V(0, 1, 0))
+	b.AddVertex(geom.V(0, 0, 1))
+	b.AddTet(0, 1, 2, 3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BruteForce(m, geom.BoxAround(geom.V(0, 0, 0), 0.5))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("BruteForce = %v", got)
+	}
+	if got := BruteForce(m, geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6))); len(got) != 0 {
+		t.Errorf("disjoint BruteForce = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package qutrade implements the workload-aware grace-window index of
+// Tzoumas, Yiu and Jensen (VLDB 2009) — "QU-Trade" in the paper — the
+// second spatio-temporal baseline: instead of the object's position, the
+// R-tree indexes a grace window around it. No maintenance is needed while
+// the object stays inside its window; queries pay for the slack by
+// filtering candidates against actual positions.
+//
+// Following the paper's tuning (§V-A), the window adapts so that fewer
+// than 1% of per-step location updates trigger R-tree maintenance.
+package qutrade
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/rtree"
+)
+
+// TargetEscapeRate is the fraction of updates allowed to trigger R-tree
+// maintenance per step (the paper tunes for < 1%).
+const TargetEscapeRate = 0.01
+
+// Engine is the QU-Trade query engine.
+type Engine struct {
+	m      *mesh.Mesh
+	tree   *rtree.Tree
+	window float64 // current grace-window half extent
+
+	escapes int64
+	updates int64
+}
+
+// New bulk-loads grace windows of the given initial half-extent around the
+// mesh's current positions. fanout <= 0 uses the paper's fanout of 110;
+// window <= 0 picks a window from the mesh extent (it will adapt anyway).
+func New(m *mesh.Mesh, fanout int, window float64) *Engine {
+	if fanout <= 0 {
+		fanout = rtree.DefaultFanout
+	}
+	if window <= 0 {
+		window = m.Bounds().Size().Len() * 1e-3
+	}
+	e := &Engine{m: m, window: window}
+	n := m.NumVertices()
+	ids := make([]int32, n)
+	boxes := make([]geom.AABB, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int32(i)
+		boxes[i] = geom.BoxAround(m.Position(int32(i)), window)
+	}
+	e.tree = rtree.BulkLoad(ids, boxes, fanout)
+	return e
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "QU-Trade" }
+
+// Step implements query.Engine: objects still inside their grace window
+// need no work; escapees are re-inserted with a fresh window. The window
+// grows when the per-step escape rate exceeds the 1% target and shrinks
+// slowly when far below it (the grow-and-shrink tuning of the original
+// paper).
+func (e *Engine) Step() {
+	pos := e.m.Positions()
+	stepEscapes := 0
+	maxDrift := 0.0
+	for i := range pos {
+		id := int32(i)
+		box, ok := e.tree.EntryBox(id)
+		if ok && box.Contains(pos[i]) {
+			continue
+		}
+		if ok {
+			if drift := pos[i].Dist(box.Center()); drift > maxDrift {
+				maxDrift = drift
+			}
+			if err := e.tree.Delete(id); err != nil {
+				continue
+			}
+		}
+		e.tree.Insert(id, geom.BoxAround(pos[i], e.window))
+		stepEscapes++
+	}
+	e.escapes += int64(stepEscapes)
+	e.updates += int64(len(pos))
+
+	// Grow-and-shrink window tuning. When the rate is over target the new
+	// window jumps to the observed drift scale (multiplicative growth alone
+	// could take tens of steps to catch up from a cold start).
+	rate := float64(stepEscapes) / float64(len(pos)+1)
+	if rate > TargetEscapeRate {
+		grown := e.window * 1.6
+		if byDrift := maxDrift * 1.5; byDrift > grown {
+			grown = byDrift
+		}
+		e.window = grown
+	} else if rate < TargetEscapeRate/16 {
+		e.window *= 0.95
+	}
+}
+
+// Query implements query.Engine: grace windows over-approximate positions,
+// so candidates are filtered against the mesh's actual state.
+func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
+	pos := e.m.Positions()
+	e.tree.Search(q, func(id int32, _ geom.AABB) bool {
+		if q.Contains(pos[id]) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// MemoryFootprint implements query.Engine.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+
+// Tree exposes the underlying R-tree for invariant checks in tests.
+func (e *Engine) Tree() *rtree.Tree { return e.tree }
+
+// Window returns the current grace-window half extent.
+func (e *Engine) Window() float64 { return e.window }
+
+// EscapeRate returns the cumulative fraction of updates that triggered
+// structural maintenance.
+func (e *Engine) EscapeRate() float64 {
+	if e.updates == 0 {
+		return 0
+	}
+	return float64(e.escapes) / float64(e.updates)
+}

@@ -1,0 +1,107 @@
+package qutrade
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func TestQueryMatchesBruteForceUnderSimulation(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, 16, 0)
+	if e.Name() == "" {
+		t.Error("empty name")
+	}
+	if err := e.Tree().CheckInvariants(); err != nil {
+		t.Fatalf("after bulk load: %v", err)
+	}
+
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 3, Seed: 1})
+	r := rand.New(rand.NewSource(2))
+	for step := 0; step < 10; step++ {
+		s.Step()
+		e.Step()
+		if err := e.Tree().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := 0; i < 8; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.15)
+			got := e.Query(q, nil)
+			want := query.BruteForce(m, q)
+			if d := query.Diff(got, want); d != "" {
+				t.Fatalf("step %d query %d: %s", step, i, d)
+			}
+		}
+	}
+}
+
+// TestWindowAdaptsToEscapeTarget runs enough steps for the adaptive window
+// to settle and checks the per-step escape rate approaches the paper's <1%
+// tuning target.
+func TestWindowAdaptsToEscapeTarget(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately tiny initial window: everything escapes at first.
+	e := New(m, 0, 1e-9)
+	s := sim.New(m, &sim.NoiseDeformer{Amplitude: 0.005, Frequency: 2, Seed: 3})
+
+	w0 := e.Window()
+	var lastRate float64
+	for step := 0; step < 25; step++ {
+		s.Step()
+		before := e.escapes
+		e.Step()
+		lastRate = float64(e.escapes-before) / float64(m.NumVertices())
+	}
+	if e.Window() <= w0 {
+		t.Errorf("window did not grow from %g", w0)
+	}
+	if lastRate > 0.05 {
+		t.Errorf("escape rate %.3f still far above the 1%% target", lastRate)
+	}
+	if e.EscapeRate() < 0 || e.EscapeRate() > 1 {
+		t.Errorf("cumulative escape rate %v out of range", e.EscapeRate())
+	}
+}
+
+func TestQueryFiltersGraceSlack(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge window: every grace box intersects every query; filtering must
+	// still return exactly the true result.
+	e := New(m, 8, 10)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.2)
+		got := e.Query(q, nil)
+		want := query.BruteForce(m, q)
+		if d := query.Diff(got, want); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+	if e.MemoryFootprint() <= 0 {
+		t.Error("non-positive footprint")
+	}
+}
+
+func TestFreshEngineEscapeRateZero(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(3, 3, 3, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, 0, 0)
+	if e.EscapeRate() != 0 {
+		t.Errorf("fresh escape rate = %v", e.EscapeRate())
+	}
+}

@@ -1,0 +1,142 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"octopus/internal/geom"
+)
+
+// BulkLoad builds a packed tree from entries using Sort-Tile-Recursive
+// (STR), the standard bulk-loading algorithm for R-trees. The resulting
+// tree has full leaves (except the last per tile) and near-minimal overlap
+// — this is how the paper's LUR-Tree and QU-Trade preprocess the initial
+// mesh before the simulation starts.
+func BulkLoad(ids []int32, boxes []geom.AABB, fanout int) *Tree {
+	t := New(fanout)
+	if len(ids) != len(boxes) {
+		panic("rtree: BulkLoad ids/boxes length mismatch")
+	}
+	if len(ids) == 0 {
+		return t
+	}
+
+	// Sort a permutation by STR tiling: x-slabs, then y-runs, then z.
+	perm := make([]int, len(ids))
+	for i := range perm {
+		perm[i] = i
+	}
+	center := func(i int) geom.Vec3 { return boxes[perm[i]].Center() }
+
+	leafCount := (len(ids) + fanout - 1) / fanout
+	sx := int(math.Ceil(math.Cbrt(float64(leafCount))))
+	sort.Slice(perm, func(a, b int) bool { return center(a).X < center(b).X })
+	slabSize := (len(ids) + sx - 1) / sx
+
+	for lo := 0; lo < len(ids); lo += slabSize {
+		hi := min(lo+slabSize, len(ids))
+		slab := perm[lo:hi]
+		sort.Slice(slab, func(a, b int) bool {
+			return boxes[slab[a]].Center().Y < boxes[slab[b]].Center().Y
+		})
+		sy := int(math.Ceil(math.Sqrt(float64((hi - lo + fanout - 1) / fanout))))
+		runSize := (hi - lo + sy - 1) / sy
+		for rlo := 0; rlo < len(slab); rlo += runSize {
+			rhi := min(rlo+runSize, len(slab))
+			run := slab[rlo:rhi]
+			sort.Slice(run, func(a, b int) bool {
+				return boxes[run[a]].Center().Z < boxes[run[b]].Center().Z
+			})
+		}
+	}
+
+	// Pack leaves in STR order.
+	var level []*node
+	for lo := 0; lo < len(perm); lo += fanout {
+		hi := min(lo+fanout, len(perm))
+		leaf := t.newNode(true)
+		for _, pi := range perm[lo:hi] {
+			leaf.boxes = append(leaf.boxes, boxes[pi])
+			leaf.ids = append(leaf.ids, ids[pi])
+			t.leafOf[ids[pi]] = leaf
+		}
+		level = append(level, leaf)
+	}
+	t.size = len(ids)
+	t.height = 1
+
+	// Pack upper levels until a single root remains. Nodes are already in
+	// spatial order, so consecutive packing keeps overlap low.
+	for len(level) > 1 {
+		var next []*node
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := min(lo+fanout, len(level))
+			parent := t.newNode(false)
+			for _, c := range level[lo:hi] {
+				parent.children = append(parent.children, c)
+				parent.boxes = append(parent.boxes, c.mbr())
+				c.parent = parent
+			}
+			next = append(next, parent)
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0]
+
+	// STR can leave the tail leaf/node underfull; merge-fix by reinserting
+	// its entries when strictly below minimum fill (only the last node per
+	// level can be short).
+	t.fixUnderfullTails()
+	return t
+}
+
+// fixUnderfullTails reinserts entries of underfull leaves left by packing.
+// Only tail nodes can be underfull, so the pass is cheap.
+func (t *Tree) fixUnderfullTails() {
+	if t.root.leaf {
+		return
+	}
+	var underfull []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n != t.root && n.entryCount() < t.minFill {
+			underfull = append(underfull, n)
+			return
+		}
+		if !n.leaf {
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	for _, n := range underfull {
+		var ids []int32
+		var boxes []geom.AABB
+		p := n.parent
+		i := p.slot(n)
+		last := len(p.children) - 1
+		p.children[i] = p.children[last]
+		p.boxes[i] = p.boxes[last]
+		p.children = p.children[:last]
+		p.boxes = p.boxes[:last]
+		t.collectEntries(n, &ids, &boxes)
+		t.condense(p)
+		for j, id := range ids {
+			t.Insert(id, boxes[j])
+		}
+	}
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+		t.height--
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package rtree
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+)
+
+// Delete removes the entry for id, locating its leaf through the hash
+// index in O(1) and condensing the tree if the leaf underflows.
+func (t *Tree) Delete(id int32) error {
+	leaf, ok := t.leafOf[id]
+	if !ok {
+		return fmt.Errorf("rtree: id %d not found", id)
+	}
+	slot := -1
+	for i, eid := range leaf.ids {
+		if eid == id {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		return fmt.Errorf("rtree: hash index stale for id %d", id)
+	}
+	last := len(leaf.ids) - 1
+	leaf.ids[slot] = leaf.ids[last]
+	leaf.boxes[slot] = leaf.boxes[last]
+	leaf.ids = leaf.ids[:last]
+	leaf.boxes = leaf.boxes[:last]
+	delete(t.leafOf, id)
+	t.size--
+
+	t.condense(leaf)
+	return nil
+}
+
+// condense walks from n to the root: underfull nodes are removed and their
+// surviving leaf entries re-inserted; MBRs along the path are tightened.
+// Re-inserting at leaf level (instead of grafting subtrees at their
+// original level) is the simple correct variant of Guttman's CondenseTree;
+// under the point workloads of the engines underflow cascades are shallow,
+// so the extra insertions are negligible.
+func (t *Tree) condense(n *node) {
+	var orphanIDs []int32
+	var orphanBoxes []geom.AABB
+
+	for n.parent != nil {
+		p := n.parent
+		if n.entryCount() < t.minFill {
+			// Unlink n and orphan its entries.
+			i := p.slot(n)
+			last := len(p.children) - 1
+			p.children[i] = p.children[last]
+			p.boxes[i] = p.boxes[last]
+			p.children = p.children[:last]
+			p.boxes = p.boxes[:last]
+			t.collectEntries(n, &orphanIDs, &orphanBoxes)
+		} else {
+			// Tighten the registered MBR.
+			p.boxes[p.slot(n)] = n.mbr()
+		}
+		n = p
+	}
+
+	// Shrink the root: a non-leaf root with a single child is replaced by
+	// that child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+		t.height--
+	}
+
+	// Re-insert orphans. size and leafOf were already decremented for them
+	// during collection, so Insert restores both.
+	for i, id := range orphanIDs {
+		t.Insert(id, orphanBoxes[i])
+	}
+}
+
+// collectEntries gathers all leaf entries in the subtree rooted at n and
+// removes them from the tree's accounting.
+func (t *Tree) collectEntries(n *node, ids *[]int32, boxes *[]geom.AABB) {
+	if n.leaf {
+		for i, id := range n.ids {
+			*ids = append(*ids, id)
+			*boxes = append(*boxes, n.boxes[i])
+			delete(t.leafOf, id)
+		}
+		t.size -= len(n.ids)
+		return
+	}
+	for _, c := range n.children {
+		t.collectEntries(c, ids, boxes)
+	}
+}

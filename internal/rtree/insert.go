@@ -1,0 +1,198 @@
+package rtree
+
+import "octopus/internal/geom"
+
+// Insert adds an entry. Duplicate ids are allowed by the structure but the
+// engines built on the tree never create them; Delete removes one entry
+// per call.
+func (t *Tree) Insert(id int32, box geom.AABB) {
+	leaf := t.chooseLeaf(t.root, box)
+	leaf.boxes = append(leaf.boxes, box)
+	leaf.ids = append(leaf.ids, id)
+	t.leafOf[id] = leaf
+	t.size++
+	t.adjustUpward(leaf, box)
+	if leaf.entryCount() > t.fanout {
+		t.splitAndPropagate(leaf)
+	}
+}
+
+// chooseLeaf descends from n to the leaf whose MBR needs the least
+// enlargement to include box (ties broken by smaller area) — Guttman's
+// ChooseLeaf.
+func (t *Tree) chooseLeaf(n *node, box geom.AABB) *node {
+	for !n.leaf {
+		best := 0
+		bestEnlarge := enlargement(n.boxes[0], box)
+		bestArea := n.boxes[0].Volume()
+		for i := 1; i < len(n.boxes); i++ {
+			e := enlargement(n.boxes[i], box)
+			a := n.boxes[i].Volume()
+			if e < bestEnlarge || (e == bestEnlarge && a < bestArea) {
+				best, bestEnlarge, bestArea = i, e, a
+			}
+		}
+		n = n.children[best]
+	}
+	return n
+}
+
+// enlargement returns the volume growth of b needed to include box.
+func enlargement(b, box geom.AABB) float64 {
+	return b.Union(box).Volume() - b.Volume()
+}
+
+// adjustUpward grows the registered MBRs on the path from n to the root so
+// they include box.
+func (t *Tree) adjustUpward(n *node, box geom.AABB) {
+	for p := n.parent; p != nil; n, p = p, p.parent {
+		i := p.slot(n)
+		if p.boxes[i].ContainsBox(box) {
+			return // ancestors already contain it too
+		}
+		p.boxes[i] = p.boxes[i].Union(box)
+	}
+}
+
+// splitAndPropagate splits an overflowing node and walks the overflow up
+// the tree, growing a new root if necessary.
+func (t *Tree) splitAndPropagate(n *node) {
+	for n != nil && n.entryCount() > t.fanout {
+		sibling := t.splitNode(n)
+		p := n.parent
+		if p == nil {
+			// Grow a new root above n and sibling.
+			root := t.newNode(false)
+			root.children = append(root.children, n, sibling)
+			root.boxes = append(root.boxes, n.mbr(), sibling.mbr())
+			n.parent = root
+			sibling.parent = root
+			t.root = root
+			t.height++
+			return
+		}
+		// Refresh n's box and register the sibling.
+		p.boxes[p.slot(n)] = n.mbr()
+		sibling.parent = p
+		p.children = append(p.children, sibling)
+		p.boxes = append(p.boxes, sibling.mbr())
+		n = p
+	}
+}
+
+// splitNode performs a Guttman quadratic split of n in place, returning
+// the new sibling holding the entries moved out.
+func (t *Tree) splitNode(n *node) *node {
+	count := n.entryCount()
+	// PickSeeds: the pair wasting the most volume if grouped together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < count; i++ {
+		for j := i + 1; j < count; j++ {
+			d := n.boxes[i].Union(n.boxes[j]).Volume() - n.boxes[i].Volume() - n.boxes[j].Volume()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+
+	assigned := make([]int8, count) // 0 = unassigned, 1 = group A, 2 = group B
+	assigned[seedA], assigned[seedB] = 1, 2
+	boxA, boxB := n.boxes[seedA], n.boxes[seedB]
+	countA, countB := 1, 1
+	remaining := count - 2
+
+	for remaining > 0 {
+		// Force-assign when one group must take everything left to reach
+		// minimum fill.
+		if countA+remaining == t.minFill {
+			for i := range assigned {
+				if assigned[i] == 0 {
+					assigned[i] = 1
+					boxA = boxA.Union(n.boxes[i])
+					countA++
+				}
+			}
+			remaining = 0
+			break
+		}
+		if countB+remaining == t.minFill {
+			for i := range assigned {
+				if assigned[i] == 0 {
+					assigned[i] = 2
+					boxB = boxB.Union(n.boxes[i])
+					countB++
+				}
+			}
+			remaining = 0
+			break
+		}
+		// PickNext: the entry with the greatest preference difference.
+		next, bestDiff := -1, -1.0
+		var dA, dB float64
+		for i := range assigned {
+			if assigned[i] != 0 {
+				continue
+			}
+			da := enlargement(boxA, n.boxes[i])
+			db := enlargement(boxB, n.boxes[i])
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, next, dA, dB = diff, i, da, db
+			}
+		}
+		toA := dA < dB
+		if dA == dB {
+			toA = countA <= countB
+		}
+		if toA {
+			assigned[next] = 1
+			boxA = boxA.Union(n.boxes[next])
+			countA++
+		} else {
+			assigned[next] = 2
+			boxB = boxB.Union(n.boxes[next])
+			countB++
+		}
+		remaining--
+	}
+
+	// Materialize: group A stays in n, group B moves to the sibling.
+	sibling := t.newNode(n.leaf)
+	keepBoxes := n.boxes[:0]
+	if n.leaf {
+		keepIDs := n.ids[:0]
+		for i := 0; i < count; i++ {
+			if assigned[i] == 1 {
+				keepBoxes = append(keepBoxes, n.boxes[i])
+				keepIDs = append(keepIDs, n.ids[i])
+			} else {
+				sibling.boxes = append(sibling.boxes, n.boxes[i])
+				sibling.ids = append(sibling.ids, n.ids[i])
+				t.leafOf[n.ids[i]] = sibling
+			}
+		}
+		// The in-place compaction above reads ahead of where it writes, so
+		// entries are never clobbered before being visited.
+		n.boxes = keepBoxes
+		n.ids = keepIDs
+	} else {
+		keepChildren := n.children[:0]
+		for i := 0; i < count; i++ {
+			if assigned[i] == 1 {
+				keepBoxes = append(keepBoxes, n.boxes[i])
+				keepChildren = append(keepChildren, n.children[i])
+			} else {
+				sibling.boxes = append(sibling.boxes, n.boxes[i])
+				sibling.children = append(sibling.children, n.children[i])
+				n.children[i].parent = sibling
+			}
+		}
+		n.boxes = keepBoxes
+		n.children = keepChildren
+	}
+	return sibling
+}

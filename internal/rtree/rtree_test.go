@@ -1,0 +1,349 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// oracle is a brute-force reference implementation.
+type oracle struct {
+	ids map[int32]geom.AABB
+}
+
+func newOracle() *oracle { return &oracle{ids: make(map[int32]geom.AABB)} }
+
+func (o *oracle) insert(id int32, b geom.AABB) { o.ids[id] = b }
+func (o *oracle) remove(id int32)              { delete(o.ids, id) }
+
+func (o *oracle) search(q geom.AABB) []int32 {
+	var out []int32
+	for id, b := range o.ids {
+		if q.Intersects(b) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func treeSearch(t *Tree, q geom.AABB) []int32 {
+	var out []int32
+	t.Search(q, func(id int32, _ geom.AABB) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+func randPointBox(r *rand.Rand) geom.AABB {
+	p := geom.V(r.Float64(), r.Float64(), r.Float64())
+	return geom.AABB{Min: p, Max: p}
+}
+
+func randQuery(r *rand.Rand) geom.AABB {
+	return geom.BoxAround(
+		geom.V(r.Float64(), r.Float64(), r.Float64()),
+		0.01+r.Float64()*0.25,
+	)
+}
+
+func TestInsertSearchSmallFanout(t *testing.T) {
+	// Small fanout exercises splits and multi-level growth quickly.
+	tr := New(4)
+	or := newOracle()
+	r := rand.New(rand.NewSource(1))
+
+	for i := int32(0); i < 500; i++ {
+		b := randPointBox(r)
+		tr.Insert(i, b)
+		or.insert(i, b)
+		if i%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Size() != 500 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected a multi-level tree", tr.Height())
+	}
+	for i := 0; i < 50; i++ {
+		q := randQuery(r)
+		if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New(5)
+	or := newOracle()
+	r := rand.New(rand.NewSource(2))
+
+	const n = 300
+	for i := int32(0); i < n; i++ {
+		b := randPointBox(r)
+		tr.Insert(i, b)
+		or.insert(i, b)
+	}
+	perm := r.Perm(n)
+	for k, pi := range perm {
+		id := int32(pi)
+		if err := tr.Delete(id); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+		or.remove(id)
+		if k%29 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+			q := randQuery(r)
+			if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+				t.Fatalf("after %d deletes: %s", k+1, d)
+			}
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d after deleting all", tr.Size())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(0); err == nil {
+		t.Error("expected error deleting from empty tree")
+	}
+}
+
+func TestRandomizedMutationSequence(t *testing.T) {
+	tr := New(6)
+	or := newOracle()
+	r := rand.New(rand.NewSource(3))
+	nextID := int32(0)
+	live := []int32{}
+
+	for step := 0; step < 3000; step++ {
+		switch {
+		case len(live) == 0 || r.Float64() < 0.55:
+			b := randPointBox(r)
+			tr.Insert(nextID, b)
+			or.insert(nextID, b)
+			live = append(live, nextID)
+			nextID++
+		default:
+			k := r.Intn(len(live))
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := tr.Delete(id); err != nil {
+				t.Fatalf("step %d: delete %d: %v", step, id, err)
+			}
+			or.remove(id)
+		}
+		if step%250 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			q := randQuery(r)
+			if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+				t.Fatalf("step %d: %s", step, d)
+			}
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 7, 110, 111, 1000, 12345} {
+		ids := make([]int32, n)
+		boxes := make([]geom.AABB, n)
+		or := newOracle()
+		for i := 0; i < n; i++ {
+			ids[i] = int32(i)
+			boxes[i] = randPointBox(r)
+			or.insert(ids[i], boxes[i])
+		}
+		tr := BulkLoad(ids, boxes, 110)
+		if tr.Size() != n {
+			t.Fatalf("n=%d: size = %d", n, tr.Size())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < 20; i++ {
+			q := randQuery(r)
+			if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+				t.Fatalf("n=%d query %d: %s", n, i, d)
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n = 2000
+	ids := make([]int32, n)
+	boxes := make([]geom.AABB, n)
+	or := newOracle()
+	for i := 0; i < n; i++ {
+		ids[i] = int32(i)
+		boxes[i] = randPointBox(r)
+		or.insert(ids[i], boxes[i])
+	}
+	tr := BulkLoad(ids, boxes, 16)
+	for step := 0; step < 500; step++ {
+		id := int32(r.Intn(n))
+		if _, ok := or.ids[id]; ok {
+			if err := tr.Delete(id); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			b := randPointBox(r)
+			tr.Insert(id, b)
+			or.insert(id, b)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		q := randQuery(r)
+		if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tr := New(4)
+	r := rand.New(rand.NewSource(6))
+	for i := int32(0); i < 200; i++ {
+		tr.Insert(i, randPointBox(r))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An update within the leaf MBR must succeed and change the entry.
+	leafBox, ok := tr.LeafMBR(10)
+	if !ok {
+		t.Fatal("LeafMBR failed")
+	}
+	inside := leafBox.Center()
+	if !tr.UpdateInPlace(10, geom.AABB{Min: inside, Max: inside}) {
+		t.Fatal("in-MBR update rejected")
+	}
+	got, _ := tr.EntryBox(10)
+	if got.Min != inside {
+		t.Fatalf("entry box not updated: %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An update far outside the leaf MBR must be rejected.
+	far := geom.V(100, 100, 100)
+	if tr.UpdateInPlace(10, geom.AABB{Min: far, Max: far}) {
+		t.Fatal("out-of-MBR update accepted")
+	}
+	// Unknown id.
+	if tr.UpdateInPlace(9999, geom.AABB{}) {
+		t.Fatal("update of unknown id accepted")
+	}
+}
+
+func TestEntryBoxAndLeafMBR(t *testing.T) {
+	tr := New(8)
+	p := geom.V(0.5, 0.5, 0.5)
+	tr.Insert(42, geom.AABB{Min: p, Max: p})
+	b, ok := tr.EntryBox(42)
+	if !ok || b.Min != p {
+		t.Fatalf("EntryBox = %v, %v", b, ok)
+	}
+	mbr, ok := tr.LeafMBR(42)
+	if !ok || !mbr.Contains(p) {
+		t.Fatalf("LeafMBR = %v, %v", mbr, ok)
+	}
+	if _, ok := tr.EntryBox(7); ok {
+		t.Error("EntryBox of unknown id succeeded")
+	}
+	if _, ok := tr.LeafMBR(7); ok {
+		t.Error("LeafMBR of unknown id succeeded")
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(4)
+	r := rand.New(rand.NewSource(7))
+	for i := int32(0); i < 100; i++ {
+		tr.Insert(i, randPointBox(r))
+	}
+	calls := 0
+	tr.Search(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), func(int32, geom.AABB) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop after %d calls, want 5", calls)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tr := New(8)
+	empty := tr.MemoryBytes()
+	r := rand.New(rand.NewSource(8))
+	for i := int32(0); i < 500; i++ {
+		tr.Insert(i, randPointBox(r))
+	}
+	if tr.MemoryBytes() <= empty {
+		t.Error("memory did not grow with inserts")
+	}
+}
+
+func TestGraceBoxEntries(t *testing.T) {
+	// Non-point boxes (grace windows) must work through the same paths.
+	tr := New(5)
+	or := newOracle()
+	r := rand.New(rand.NewSource(9))
+	for i := int32(0); i < 400; i++ {
+		c := geom.V(r.Float64(), r.Float64(), r.Float64())
+		b := geom.BoxAround(c, 0.01+r.Float64()*0.05)
+		tr.Insert(i, b)
+		or.insert(i, b)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		q := randQuery(r)
+		if d := query.Diff(treeSearch(tr, q), or.search(q)); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(DefaultFanout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int32(i), randPointBox(r))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	const n = 100000
+	ids := make([]int32, n)
+	boxes := make([]geom.AABB, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int32(i)
+		boxes[i] = randPointBox(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(ids, boxes, DefaultFanout)
+	}
+}

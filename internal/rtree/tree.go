@@ -1,0 +1,268 @@
+// Package rtree implements an in-memory R-tree with configurable fanout,
+// Guttman quadratic splits, deletion with re-insertion, STR bulk loading
+// and a companion id→leaf hash index for O(1) entry lookup.
+//
+// It is the substrate both spatio-temporal baselines of the paper build
+// on: "Both approaches [LUR-Tree and QU-Trade] base their implementation
+// on the same in-memory R-Tree implementation with a fanout of 110" (§V-A).
+// The hash index reproduces the paper's "R-Tree along with a hash index
+// for quick lookups".
+package rtree
+
+import (
+	"fmt"
+
+	"octopus/internal/geom"
+)
+
+// DefaultFanout is the paper's R-tree fanout.
+const DefaultFanout = 110
+
+// Tree is an in-memory R-tree mapping int32 ids to boxes.
+type Tree struct {
+	root    *node
+	fanout  int
+	minFill int
+	size    int
+	height  int // number of levels; 1 = root is a leaf
+	leafOf  map[int32]*node
+}
+
+// node is an R-tree node. boxes is parallel to children (internal nodes)
+// or ids (leaves).
+type node struct {
+	parent   *node
+	leaf     bool
+	boxes    []geom.AABB
+	children []*node
+	ids      []int32
+}
+
+// New returns an empty tree. fanout < 4 is raised to 4; minimum fill is
+// 40% of fanout, the classical choice.
+func New(fanout int) *Tree {
+	if fanout < 4 {
+		fanout = 4
+	}
+	t := &Tree{
+		fanout:  fanout,
+		minFill: fanout * 2 / 5,
+		leafOf:  make(map[int32]*node),
+	}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{leaf: leaf, boxes: make([]geom.AABB, 0, t.fanout+1)}
+	if leaf {
+		n.ids = make([]int32, 0, t.fanout+1)
+	} else {
+		n.children = make([]*node, 0, t.fanout+1)
+	}
+	return n
+}
+
+// Size returns the number of stored entries.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Fanout returns the configured maximum node capacity.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// mbr returns the bounding box of all entries of n.
+func (n *node) mbr() geom.AABB {
+	b := geom.EmptyBox()
+	for _, bb := range n.boxes {
+		b = b.Union(bb)
+	}
+	return b
+}
+
+// entryCount returns the number of entries in n.
+func (n *node) entryCount() int { return len(n.boxes) }
+
+// slot returns the index of child c in its parent, or -1.
+func (n *node) slot(c *node) int {
+	for i, ch := range n.children {
+		if ch == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Search invokes fn for every entry whose box intersects q. fn returning
+// false stops the search early.
+func (t *Tree) Search(q geom.AABB, fn func(id int32, box geom.AABB) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *node, q geom.AABB, fn func(int32, geom.AABB) bool) bool {
+	if n.leaf {
+		for i, b := range n.boxes {
+			if q.Intersects(b) {
+				if !fn(n.ids[i], b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i, b := range n.boxes {
+		if q.Intersects(b) {
+			if !t.search(n.children[i], q, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EntryBox returns the current box stored for id.
+func (t *Tree) EntryBox(id int32) (geom.AABB, bool) {
+	leaf, ok := t.leafOf[id]
+	if !ok {
+		return geom.AABB{}, false
+	}
+	for i, eid := range leaf.ids {
+		if eid == id {
+			return leaf.boxes[i], true
+		}
+	}
+	return geom.AABB{}, false
+}
+
+// LeafMBR returns the minimum bounding rectangle currently registered for
+// the leaf holding id — the rectangle the LUR-Tree's lazy-update rule
+// tests against.
+func (t *Tree) LeafMBR(id int32) (geom.AABB, bool) {
+	leaf, ok := t.leafOf[id]
+	if !ok {
+		return geom.AABB{}, false
+	}
+	if leaf.parent == nil {
+		return leaf.mbr(), true
+	}
+	return leaf.parent.boxes[leaf.parent.slot(leaf)], true
+}
+
+// UpdateInPlace replaces id's box with box if box lies within the MBR of
+// the entry's current leaf, avoiding any structural maintenance — the
+// LUR-Tree lazy update. It reports whether the cheap path applied; when it
+// returns false the caller must Delete + Insert.
+func (t *Tree) UpdateInPlace(id int32, box geom.AABB) bool {
+	leaf, ok := t.leafOf[id]
+	if !ok {
+		return false
+	}
+	var leafBox geom.AABB
+	if leaf.parent == nil {
+		leafBox = leaf.mbr()
+	} else {
+		leafBox = leaf.parent.boxes[leaf.parent.slot(leaf)]
+	}
+	if !leafBox.ContainsBox(box) {
+		return false
+	}
+	for i, eid := range leaf.ids {
+		if eid == id {
+			leaf.boxes[i] = box
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryBytes estimates the tree's footprint: node headers, entry arrays
+// and the id→leaf hash index.
+func (t *Tree) MemoryBytes() int64 {
+	var bytes int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		bytes += 8 + 1 + 3*24 // parent ptr + leaf flag + three slice headers
+		bytes += int64(cap(n.boxes)) * 48
+		if n.leaf {
+			bytes += int64(cap(n.ids)) * 4
+		} else {
+			bytes += int64(cap(n.children)) * 8
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	bytes += int64(len(t.leafOf)) * 16 // id -> pointer entries
+	return bytes
+}
+
+// CheckInvariants validates the full R-tree structure; tests call it after
+// every mutation batch. It returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node, depth int, within *geom.AABB) error
+	leafDepth := -1
+	walk = func(n *node, depth int, within *geom.AABB) error {
+		if len(n.boxes) > t.fanout {
+			return fmt.Errorf("rtree: node overflow: %d > %d", len(n.boxes), t.fanout)
+		}
+		if n != t.root && len(n.boxes) < t.minFill {
+			return fmt.Errorf("rtree: node underflow: %d < %d", len(n.boxes), t.minFill)
+		}
+		if within != nil {
+			for _, b := range n.boxes {
+				if !within.ContainsBox(b) {
+					return fmt.Errorf("rtree: entry box %v outside parent box %v", b, *within)
+				}
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			if len(n.ids) != len(n.boxes) {
+				return fmt.Errorf("rtree: leaf ids/boxes mismatch")
+			}
+			for _, id := range n.ids {
+				count++
+				if t.leafOf[id] != n {
+					return fmt.Errorf("rtree: leafOf[%d] stale", id)
+				}
+			}
+			return nil
+		}
+		if len(n.children) != len(n.boxes) {
+			return fmt.Errorf("rtree: children/boxes mismatch")
+		}
+		for i, c := range n.children {
+			if c.parent != n {
+				return fmt.Errorf("rtree: broken parent pointer")
+			}
+			if got := c.mbr(); !n.boxes[i].ContainsBox(got) {
+				return fmt.Errorf("rtree: child mbr %v not within registered box %v", got, n.boxes[i])
+			}
+			if err := walk(c, depth+1, &n.boxes[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d entries found", t.size, count)
+	}
+	if count != len(t.leafOf) {
+		return fmt.Errorf("rtree: leafOf has %d entries, want %d", len(t.leafOf), count)
+	}
+	if leafDepth != -1 && leafDepth != t.height {
+		return fmt.Errorf("rtree: height %d but leaves at depth %d", t.height, leafDepth)
+	}
+	return nil
+}

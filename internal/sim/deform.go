@@ -1,0 +1,228 @@
+// Package sim implements the simulation substrate of the paper's setting:
+// a black-box process that, at every discrete time step, updates the
+// position of (almost) every vertex of a memory-resident mesh in place,
+// unpredictably (§III-A, Figure 1(e)). Monitoring range queries run between
+// steps.
+//
+// The deformers below stand in for the neural-plasticity, earthquake and
+// animation simulations of the paper. What matters to the reproduction is
+// the *update pattern* — massive, per-step, in-place, trajectory-free — not
+// the physics; every deformer moves every vertex every step.
+package sim
+
+import (
+	"math"
+
+	"octopus/internal/geom"
+)
+
+// Deformer changes vertex positions in place for one simulation time step.
+// Implementations must move every vertex (the paper's "updates ... are
+// massive, affecting the entire dataset") and must not depend on any state
+// other than step and the positions themselves.
+type Deformer interface {
+	// Step applies the deformation of time step `step` (0-based) to pos.
+	Step(step int, pos []geom.Vec3)
+}
+
+// hashPhase derives a deterministic pseudo-random phase in [0, 2π) from a
+// step number, a seed and a lane, without math/rand state — keeping
+// deformers stateless and reproducible.
+func hashPhase(step int, seed int64, lane uint64) float64 {
+	x := uint64(step+1)*0x9e3779b97f4a7c15 ^ uint64(seed)*0xbf58476d1ce4e5b9 ^ (lane+1)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x%1000000) / 1000000 * 2 * math.Pi
+}
+
+// NoiseDeformer perturbs every vertex with a smooth spatial sinusoidal
+// field whose phases are re-randomized every step: spatially coherent
+// (neighbouring vertices move similarly, as real simulations do) but
+// temporally unpredictable (no trajectory an index could extrapolate).
+// It models the neural-plasticity deformation of the Blue Brain use case.
+type NoiseDeformer struct {
+	// Amplitude is the displacement magnitude per step.
+	Amplitude float64
+	// Frequency is the spatial frequency of the field (higher = finer
+	// spatial variation).
+	Frequency float64
+	// Seed decorrelates deformers.
+	Seed int64
+}
+
+// Step implements Deformer.
+func (d *NoiseDeformer) Step(step int, pos []geom.Vec3) {
+	f := d.Frequency
+	if f == 0 {
+		f = 1
+	}
+	px := hashPhase(step, d.Seed, 0)
+	py := hashPhase(step, d.Seed, 1)
+	pz := hashPhase(step, d.Seed, 2)
+	qx := hashPhase(step, d.Seed, 3)
+	qy := hashPhase(step, d.Seed, 4)
+	qz := hashPhase(step, d.Seed, 5)
+	a := d.Amplitude
+	for i := range pos {
+		p := pos[i]
+		pos[i] = geom.V(
+			p.X+a*math.Sin(f*p.Y+px)*math.Cos(f*p.Z+qx),
+			p.Y+a*math.Sin(f*p.Z+py)*math.Cos(f*p.X+qy),
+			p.Z+a*math.Sin(f*p.X+pz)*math.Cos(f*p.Y+qz),
+		)
+	}
+}
+
+// AffineDeformer applies a small time-varying affine map (anisotropic
+// scaling, rotation about Z and translation) around a pivot. Affine maps
+// preserve convexity exactly, which makes this the deformer for the convex
+// earthquake meshes driving OCTOPUS-CON (§IV-F).
+type AffineDeformer struct {
+	// Pivot is the fixed point of the scaling/rotation.
+	Pivot geom.Vec3
+	// MaxScale bounds the per-step relative scale oscillation (e.g. 0.02).
+	MaxScale float64
+	// MaxRotate bounds the per-step rotation angle in radians.
+	MaxRotate float64
+	// MaxShift bounds the per-step translation magnitude.
+	MaxShift float64
+	// Seed decorrelates deformers.
+	Seed int64
+}
+
+// Step implements Deformer.
+func (d *AffineDeformer) Step(step int, pos []geom.Vec3) {
+	sx := 1 + d.MaxScale*math.Sin(hashPhase(step, d.Seed, 0))
+	sy := 1 + d.MaxScale*math.Sin(hashPhase(step, d.Seed, 1))
+	sz := 1 + d.MaxScale*math.Sin(hashPhase(step, d.Seed, 2))
+	theta := d.MaxRotate * math.Sin(hashPhase(step, d.Seed, 3))
+	shift := geom.V(
+		d.MaxShift*math.Sin(hashPhase(step, d.Seed, 4)),
+		d.MaxShift*math.Sin(hashPhase(step, d.Seed, 5)),
+		d.MaxShift*math.Sin(hashPhase(step, d.Seed, 6)),
+	)
+	cos, sin := math.Cos(theta), math.Sin(theta)
+	for i := range pos {
+		p := pos[i].Sub(d.Pivot)
+		p = geom.V(p.X*sx, p.Y*sy, p.Z*sz)
+		p = geom.V(p.X*cos-p.Y*sin, p.X*sin+p.Y*cos, p.Z)
+		pos[i] = p.Add(d.Pivot).Add(shift)
+	}
+}
+
+// WaveDeformer bends the mesh with a traveling wave along the X axis — the
+// "horse gallop" style animation deformation.
+type WaveDeformer struct {
+	// Amplitude is the bend magnitude.
+	Amplitude float64
+	// WaveLength is the spatial wavelength of the bend along X.
+	WaveLength float64
+	// Speed is the phase advance per step.
+	Speed float64
+}
+
+// Step implements Deformer.
+func (d *WaveDeformer) Step(step int, pos []geom.Vec3) {
+	wl := d.WaveLength
+	if wl == 0 {
+		wl = 1
+	}
+	k := 2 * math.Pi / wl
+	phase := d.Speed * float64(step+1)
+	for i := range pos {
+		p := pos[i]
+		dy := d.Amplitude * math.Sin(k*p.X+phase)
+		dz := 0.3 * d.Amplitude * math.Cos(k*p.X+phase)
+		pos[i] = geom.V(p.X+0.05*d.Amplitude*math.Sin(phase), p.Y+dy, p.Z+dz)
+	}
+}
+
+// CompressDeformer rhythmically compresses and releases the mesh along X
+// while bulging it along Y/Z to roughly preserve volume — the "camel
+// compress" style deformation.
+type CompressDeformer struct {
+	// Pivot is the compression center.
+	Pivot geom.Vec3
+	// MaxCompress is the peak relative compression (e.g. 0.3 = 30%).
+	MaxCompress float64
+	// Period is the number of steps per compression cycle.
+	Period int
+}
+
+// Step implements Deformer.
+func (d *CompressDeformer) Step(step int, pos []geom.Vec3) {
+	period := d.Period
+	if period <= 0 {
+		period = 20
+	}
+	// Per-step incremental compression factor: the cumulative factor
+	// follows a sinusoid, each Step applies the ratio to the previous step.
+	cum := func(s int) float64 {
+		return 1 - d.MaxCompress*0.5*(1-math.Cos(2*math.Pi*float64(s)/float64(period)))
+	}
+	ratio := cum(step+1) / cum(step)
+	inv := 1 / math.Sqrt(ratio) // volume-preserving bulge
+	// A periodic whole-body sway guarantees even the pivot vertex moves
+	// every step; its increments cancel over a full cycle.
+	sway := func(s int) float64 {
+		return 0.1 * d.MaxCompress * math.Sin(2*math.Pi*float64(s)/float64(period))
+	}
+	shift := sway(step+1) - sway(step)
+	for i := range pos {
+		p := pos[i].Sub(d.Pivot)
+		pos[i] = geom.V(p.X*ratio+shift, p.Y*inv+shift, p.Z*inv).Add(d.Pivot)
+	}
+}
+
+// BlendDeformer displaces vertices by a set of Gaussian bumps whose
+// amplitudes vary pseudo-randomly per step — the "facial expression" style
+// deformation: localized, smooth, unpredictable.
+type BlendDeformer struct {
+	// Centers are the bump centers (e.g. brow, cheeks, jaw).
+	Centers []geom.Vec3
+	// Radius is the Gaussian radius of each bump.
+	Radius float64
+	// Amplitude is the per-step bump magnitude.
+	Amplitude float64
+	// Seed decorrelates deformers.
+	Seed int64
+}
+
+// Step implements Deformer.
+func (d *BlendDeformer) Step(step int, pos []geom.Vec3) {
+	r2 := d.Radius * d.Radius
+	if r2 == 0 {
+		r2 = 1
+	}
+	// Every vertex also gets a small global drift so that all vertices move
+	// every step even far from the bumps.
+	drift := geom.V(
+		0.02*d.Amplitude*math.Sin(hashPhase(step, d.Seed, 100)),
+		0.02*d.Amplitude*math.Sin(hashPhase(step, d.Seed, 101)),
+		0.02*d.Amplitude*math.Sin(hashPhase(step, d.Seed, 102)),
+	)
+	type bump struct {
+		c geom.Vec3
+		a geom.Vec3
+	}
+	bumps := make([]bump, len(d.Centers))
+	for i, c := range d.Centers {
+		bumps[i] = bump{c: c, a: geom.V(
+			d.Amplitude*math.Sin(hashPhase(step, d.Seed, uint64(3*i))),
+			d.Amplitude*math.Sin(hashPhase(step, d.Seed, uint64(3*i+1))),
+			d.Amplitude*math.Sin(hashPhase(step, d.Seed, uint64(3*i+2))),
+		)}
+	}
+	for i := range pos {
+		p := pos[i]
+		disp := drift
+		for _, b := range bumps {
+			w := math.Exp(-p.Dist2(b.c) / r2)
+			disp = disp.Add(b.a.Scale(w))
+		}
+		pos[i] = p.Add(disp)
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+)
+
+// allDeformers returns one configured instance of every deformer.
+func allDeformers() map[string]Deformer {
+	return map[string]Deformer{
+		"noise":    &NoiseDeformer{Amplitude: 0.01, Frequency: 2, Seed: 1},
+		"affine":   &AffineDeformer{Pivot: geom.V(0.5, 0.5, 0.5), MaxScale: 0.02, MaxRotate: 0.01, MaxShift: 0.005, Seed: 2},
+		"wave":     &WaveDeformer{Amplitude: 0.05, WaveLength: 2, Speed: 0.3},
+		"compress": &CompressDeformer{MaxCompress: 0.2, Period: 10},
+		"blend": &BlendDeformer{
+			Centers: []geom.Vec3{{X: 0.3, Y: 0.3, Z: 0.3}},
+			Radius:  0.4, Amplitude: 0.05, Seed: 3,
+		},
+	}
+}
+
+func clonePositions(pos []geom.Vec3) []geom.Vec3 {
+	cp := make([]geom.Vec3, len(pos))
+	copy(cp, pos)
+	return cp
+}
+
+// TestEveryDeformerMovesEveryVertex enforces the paper's core update
+// pattern: massive updates affecting the entire dataset at every step.
+func TestEveryDeformerMovesEveryVertex(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(5, 5, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range allDeformers() {
+		pos := clonePositions(m.Positions())
+		for step := 0; step < 3; step++ {
+			before := clonePositions(pos)
+			d.Step(step, pos)
+			for i := range pos {
+				if pos[i] == before[i] {
+					t.Errorf("%s: step %d left vertex %d unmoved", name, step, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDeformersAreDeterministic checks reproducibility: the same step on
+// the same positions yields the same result.
+func TestDeformersAreDeterministic(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range map[string]func() Deformer{
+		"noise": func() Deformer { return &NoiseDeformer{Amplitude: 0.01, Frequency: 2, Seed: 9} },
+		"wave":  func() Deformer { return &WaveDeformer{Amplitude: 0.05, WaveLength: 2, Speed: 0.3} },
+	} {
+		a := clonePositions(m.Positions())
+		b := clonePositions(m.Positions())
+		build().Step(5, a)
+		build().Step(5, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s not deterministic at vertex %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+// TestNoiseDeformerUnpredictable: consecutive steps must not displace a
+// vertex along the same vector (no linear trajectory an index could
+// extrapolate).
+func TestNoiseDeformerUnpredictable(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &NoiseDeformer{Amplitude: 0.01, Frequency: 2, Seed: 1}
+	pos := clonePositions(m.Positions())
+
+	p0 := pos[10]
+	d.Step(0, pos)
+	p1 := pos[10]
+	d.Step(1, pos)
+	p2 := pos[10]
+
+	v1 := p1.Sub(p0)
+	v2 := p2.Sub(p1)
+	predicted := p1.Add(v1)
+	if p2.Dist(predicted) < 0.2*v2.Len() {
+		t.Error("displacement looks linearly extrapolatable")
+	}
+}
+
+// TestAffinePreservesConvexity: under the affine deformer, points inside
+// the convex hull stay inside (we test midpoints of vertex pairs, which is
+// what convexity preservation means for the mesh graph).
+func TestAffinePreservesConvexity(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &AffineDeformer{Pivot: geom.V(0.5, 0.5, 0.5), MaxScale: 0.05, MaxRotate: 0.05, MaxShift: 0.01, Seed: 4}
+	pos := clonePositions(m.Positions())
+	midSlice := []geom.Vec3{pos[0].Add(pos[len(pos)-1]).Scale(0.5)}
+
+	d.Step(0, midSlice) // transform the midpoint alone
+	want := midSlice[0]
+
+	pos2 := clonePositions(m.Positions())
+	d.Step(0, pos2)
+	got := pos2[0].Add(pos2[len(pos2)-1]).Scale(0.5)
+	// Affine maps commute with midpoints.
+	if got.Dist(want) > 1e-12 {
+		t.Errorf("affine map does not commute with midpoint: %v vs %v", got, want)
+	}
+}
+
+func TestCompressDeformerCycleReturnsHome(t *testing.T) {
+	// The compression ratios telescope exactly over a full cycle; the sway
+	// couples with the scaling, so "home" is approximate. The test guards
+	// against unbounded drift across cycles.
+	d := &CompressDeformer{MaxCompress: 0.3, Period: 8}
+	pos := []geom.Vec3{{X: 1, Y: 1, Z: 1}, {X: -2, Y: 0.5, Z: 0}}
+	orig := clonePositions(pos)
+	for step := 0; step < 4*8; step++ { // four full cycles
+		d.Step(step, pos)
+	}
+	for i := range pos {
+		if pos[i].Dist(orig[i]) > 0.25 {
+			t.Errorf("vertex %d drifted after four cycles: %v vs %v", i, pos[i], orig[i])
+		}
+	}
+}
+
+func TestSimulationSteps(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(3, 3, 3, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, &NoiseDeformer{Amplitude: 0.01, Frequency: 1, Seed: 5})
+	if s.StepsDone() != 0 {
+		t.Error("fresh simulation not at step 0")
+	}
+	if got := s.Step(); got != 0 {
+		t.Errorf("first Step returned %d", got)
+	}
+	if got := s.Step(); got != 1 {
+		t.Errorf("second Step returned %d", got)
+	}
+	if s.StepsDone() != 2 {
+		t.Errorf("StepsDone = %d", s.StepsDone())
+	}
+}
+
+func TestDefaultDeformerCoverage(t *testing.T) {
+	for _, id := range meshgen.AllDatasets() {
+		d, err := DefaultDeformer(id, DefaultAmplitude)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if d == nil {
+			t.Errorf("%s: nil deformer", id)
+		}
+	}
+	if _, err := DefaultDeformer("bogus", 0.01); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestMaxDisplacement(t *testing.T) {
+	pos := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 1}}
+	d := &WaveDeformer{Amplitude: 0.1, WaveLength: 2, Speed: 0.5}
+	got := MaxDisplacement(d, 0, pos)
+	if got <= 0 || got > 1 {
+		t.Errorf("MaxDisplacement = %v", got)
+	}
+	// The probe must not mutate the input.
+	if pos[0] != geom.V(0, 0, 0) {
+		t.Error("MaxDisplacement mutated input")
+	}
+}
+
+// TestSimulationKeepsMeshInValidState runs a longer simulation and checks
+// positions stay finite and bounded.
+func TestSimulationKeepsMeshInValidState(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(6, 6, 6, 1.0/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := mesh.ComputeStats(m)
+	_ = stats
+	d, err := DefaultDeformer(meshgen.EqSF2, DefaultAmplitude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, d)
+	for i := 0; i < 60; i++ {
+		s.Step()
+	}
+	b := m.Bounds()
+	if b.IsEmpty() {
+		t.Fatal("bounds empty after simulation")
+	}
+	for _, p := range m.Positions() {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) {
+			t.Fatal("non-finite position after simulation")
+		}
+	}
+	if b.Size().Len() > 10 {
+		t.Errorf("mesh exploded: bounds %v", b)
+	}
+}

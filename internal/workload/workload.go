@@ -1,0 +1,177 @@
+// Package workload generates the range-query workloads of the paper's
+// evaluation: queries of a target selectivity placed uniformly at random in
+// the mesh, plus the four neuroscience microbenchmarks of Figure 5.
+//
+// A query's selectivity is the fraction of all mesh vertices inside its
+// box. The generator sizes each query box by binary search against a
+// spatial histogram so the expected selectivity matches the target without
+// scanning the dataset per candidate box.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"octopus/internal/geom"
+	"octopus/internal/histogram"
+	"octopus/internal/mesh"
+)
+
+// Generator produces range-query workloads over a fixed mesh snapshot.
+// Queries are generated against the positions at construction time; during
+// a simulation the paper likewise chooses fresh query regions each step
+// within the (slowly drifting) mesh extent.
+type Generator struct {
+	m    *mesh.Mesh
+	hist *histogram.Histogram
+	rng  *rand.Rand
+	diag float64
+}
+
+// NewGenerator builds a workload generator over the mesh's current
+// positions, using a histogram with ~histCells cells for selectivity
+// targeting. seed fixes the pseudo-random placement.
+func NewGenerator(m *mesh.Mesh, histCells int, seed int64) *Generator {
+	bounds := m.Bounds()
+	return &Generator{
+		m:    m,
+		hist: histogram.Build(m.Positions(), bounds, histCells),
+		rng:  rand.New(rand.NewSource(seed)),
+		diag: bounds.Size().Len(),
+	}
+}
+
+// Histogram exposes the generator's selectivity estimator (shared with the
+// analytical model validation).
+func (g *Generator) Histogram() *histogram.Histogram { return g.hist }
+
+// QueryWithSelectivity returns one cube range query centered at a random
+// mesh vertex, sized so the histogram-estimated selectivity matches target
+// (a fraction, e.g. 0.001 for 0.1%).
+func (g *Generator) QueryWithSelectivity(target float64) geom.AABB {
+	center := g.m.Position(int32(g.rng.Intn(g.m.NumVertices())))
+	return g.sizeQuery(center, target)
+}
+
+// sizeQuery binary-searches the half-extent of a cube at center so the
+// estimated selectivity hits the target.
+func (g *Generator) sizeQuery(center geom.Vec3, target float64) geom.AABB {
+	want := target * g.hist.Total()
+	lo, hi := 0.0, g.diag
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		est := g.hist.Estimate(geom.BoxAround(center, mid))
+		if est < want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9*g.diag {
+			break
+		}
+	}
+	return geom.BoxAround(center, (lo+hi)/2)
+}
+
+// UniformQueries returns n queries of the given target selectivity, the
+// "15 range queries of selectivity 0.1% located uniform randomly in the
+// mesh" pattern of the sensitivity analysis (§V-C).
+func (g *Generator) UniformQueries(n int, target float64) []geom.AABB {
+	qs := make([]geom.AABB, n)
+	for i := range qs {
+		qs[i] = g.QueryWithSelectivity(target)
+	}
+	return qs
+}
+
+// Microbenchmark describes one of the paper's Figure 5 neuroscience
+// microbenchmarks: a number of queries per time step drawn from
+// [QueriesMin, QueriesMax] with selectivities drawn from [SelMin, SelMax].
+type Microbenchmark struct {
+	ID          string
+	Name        string
+	QueriesMin  int
+	QueriesMax  int
+	SelMin      float64 // fraction, not percent
+	SelMax      float64
+	RangeVolume float64 // paper-reported query volume, for the Fig. 5 table
+}
+
+// PaperBenchmarks returns the four microbenchmarks of Figure 5 with the
+// paper's parameters (selectivities converted from percent to fractions).
+func PaperBenchmarks() []Microbenchmark {
+	return []Microbenchmark{
+		{ID: "A", Name: "Structural Validation", QueriesMin: 13, QueriesMax: 17, SelMin: 0.0011, SelMax: 0.0016, RangeVolume: 2e-5},
+		{ID: "B", Name: "Mesh Quality", QueriesMin: 7, QueriesMax: 9, SelMin: 0.0002, SelMax: 0.0014, RangeVolume: 2e-5},
+		{ID: "C", Name: "Visualization (Low Quality)", QueriesMin: 22, QueriesMax: 22, SelMin: 0.0018, SelMax: 0.0018, RangeVolume: 6e-5},
+		{ID: "D", Name: "Visualization (High Quality)", QueriesMin: 22, QueriesMax: 22, SelMin: 0.0012, SelMax: 0.0012, RangeVolume: 5e-6},
+	}
+}
+
+// StepQueries returns the queries for one simulation time step of the
+// microbenchmark: a random count in [QueriesMin, QueriesMax], each with a
+// random selectivity in [SelMin, SelMax].
+func (g *Generator) StepQueries(mb Microbenchmark) []geom.AABB {
+	n := mb.QueriesMin
+	if mb.QueriesMax > mb.QueriesMin {
+		n += g.rng.Intn(mb.QueriesMax - mb.QueriesMin + 1)
+	}
+	qs := make([]geom.AABB, n)
+	for i := range qs {
+		sel := mb.SelMin
+		if mb.SelMax > mb.SelMin {
+			sel += g.rng.Float64() * (mb.SelMax - mb.SelMin)
+		}
+		qs[i] = g.QueryWithSelectivity(sel)
+	}
+	return qs
+}
+
+// FixedQueries returns n queries with the exact half-extent given — used by
+// the "fixed query size across detail levels" experiment (Fig. 7a) where
+// the box volume, not the selectivity, is held constant.
+func (g *Generator) FixedQueries(n int, halfExtent float64) []geom.AABB {
+	qs := make([]geom.AABB, n)
+	for i := range qs {
+		center := g.m.Position(int32(g.rng.Intn(g.m.NumVertices())))
+		qs[i] = geom.BoxAround(center, halfExtent)
+	}
+	return qs
+}
+
+// HalfExtentForSelectivity returns the half-extent a cube query needs (on
+// average, by histogram estimate at a random center sample) to reach the
+// target selectivity. Used to derive a fixed query size from a selectivity
+// on a reference dataset.
+func (g *Generator) HalfExtentForSelectivity(target float64, samples int) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		q := g.QueryWithSelectivity(target)
+		total += q.Size().X / 2
+	}
+	return total / float64(samples)
+}
+
+// TrueSelectivity exactly counts the fraction of mesh vertices inside q by
+// scanning all positions — the ground truth used in tests and experiment
+// reports (not by engines).
+func TrueSelectivity(m *mesh.Mesh, q geom.AABB) float64 {
+	n := 0
+	for _, p := range m.Positions() {
+		if q.Contains(p) {
+			n++
+		}
+	}
+	if m.NumVertices() == 0 {
+		return 0
+	}
+	return float64(n) / float64(m.NumVertices())
+}
+
+// ClampSelectivity bounds a selectivity to a representable value.
+func ClampSelectivity(s float64) float64 {
+	return math.Max(0, math.Min(1, s))
+}

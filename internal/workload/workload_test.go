@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/meshgen"
+)
+
+func TestQueryWithSelectivity(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(20, 20, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 4096, 1)
+
+	for _, target := range []float64{0.001, 0.01, 0.05} {
+		// Average the true selectivity over several queries; individual
+		// queries vary (queries near the boundary cover less of the mesh).
+		sum := 0.0
+		const n = 30
+		for i := 0; i < n; i++ {
+			q := g.QueryWithSelectivity(target)
+			sum += TrueSelectivity(m, q)
+		}
+		avg := sum / n
+		if avg < target*0.4 || avg > target*2.5 {
+			t.Errorf("target %.4f: average true selectivity %.4f out of tolerance", target, avg)
+		}
+	}
+}
+
+func TestUniformQueriesCount(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 512, 2)
+	qs := g.UniformQueries(15, 0.001)
+	if len(qs) != 15 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	bounds := m.Bounds().Grow(1)
+	for _, q := range qs {
+		if q.IsEmpty() {
+			t.Error("empty query box")
+		}
+		if !bounds.Intersects(q) {
+			t.Errorf("query %v far outside mesh", q)
+		}
+	}
+}
+
+func TestPaperBenchmarks(t *testing.T) {
+	mbs := PaperBenchmarks()
+	if len(mbs) != 4 {
+		t.Fatalf("got %d benchmarks", len(mbs))
+	}
+	wantIDs := []string{"A", "B", "C", "D"}
+	for i, mb := range mbs {
+		if mb.ID != wantIDs[i] {
+			t.Errorf("benchmark %d id = %q", i, mb.ID)
+		}
+		if mb.QueriesMin > mb.QueriesMax || mb.QueriesMin <= 0 {
+			t.Errorf("benchmark %s query counts invalid", mb.ID)
+		}
+		if mb.SelMin > mb.SelMax || mb.SelMin <= 0 {
+			t.Errorf("benchmark %s selectivities invalid", mb.ID)
+		}
+	}
+	// Figure 5 parameters: benchmark A runs 13..17 queries at 0.11..0.16%.
+	a := mbs[0]
+	if a.QueriesMin != 13 || a.QueriesMax != 17 || a.SelMin != 0.0011 || a.SelMax != 0.0016 {
+		t.Errorf("benchmark A parameters = %+v", a)
+	}
+}
+
+func TestStepQueries(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 512, 3)
+	mb := PaperBenchmarks()[0]
+	for i := 0; i < 10; i++ {
+		qs := g.StepQueries(mb)
+		if len(qs) < mb.QueriesMin || len(qs) > mb.QueriesMax {
+			t.Fatalf("step query count %d outside [%d,%d]", len(qs), mb.QueriesMin, mb.QueriesMax)
+		}
+	}
+}
+
+func TestFixedQueries(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 512, 4)
+	qs := g.FixedQueries(5, 0.2)
+	for _, q := range qs {
+		if math.Abs(q.Size().X-0.4) > 1e-12 {
+			t.Errorf("query size = %v, want 0.4", q.Size().X)
+		}
+	}
+}
+
+func TestHalfExtentForSelectivity(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(16, 16, 16, 1.0/16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 4096, 5)
+	he := g.HalfExtentForSelectivity(0.01, 10)
+	// A 1% query on a unit cube of uniform vertices has volume ~0.01, i.e.
+	// half-extent ~ (0.01)^(1/3)/2 = 0.108, modulated by boundary effects.
+	if he < 0.05 || he > 0.3 {
+		t.Errorf("half extent = %v", he)
+	}
+}
+
+func TestTrueSelectivity(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(4, 4, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TrueSelectivity(m, m.Bounds()); got != 1 {
+		t.Errorf("full-box selectivity = %v", got)
+	}
+	if got := TrueSelectivity(m, geom.Box(geom.V(9, 9, 9), geom.V(10, 10, 10))); got != 0 {
+		t.Errorf("empty selectivity = %v", got)
+	}
+}
+
+func TestClampSelectivity(t *testing.T) {
+	if ClampSelectivity(-0.5) != 0 || ClampSelectivity(1.5) != 1 || ClampSelectivity(0.25) != 0.25 {
+		t.Error("clamp broken")
+	}
+}

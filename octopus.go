@@ -1,0 +1,145 @@
+package octopus
+
+import (
+	"octopus/internal/core"
+	"octopus/internal/geom"
+	"octopus/internal/grid"
+	"octopus/internal/kdtree"
+	"octopus/internal/linearscan"
+	"octopus/internal/lurtree"
+	"octopus/internal/mesh"
+	"octopus/internal/octree"
+	"octopus/internal/query"
+	"octopus/internal/qutrade"
+)
+
+// Geometry primitives.
+type (
+	// Vec3 is a point or direction in 3-D space.
+	Vec3 = geom.Vec3
+	// AABB is an axis-aligned box — the shape of every range query.
+	AABB = geom.AABB
+)
+
+// V constructs a Vec3.
+func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
+
+// Box constructs an AABB from two opposite corners (any order).
+func Box(a, b Vec3) AABB { return geom.Box(a, b) }
+
+// BoxAround constructs the cube of half-extent r centered at c.
+func BoxAround(c Vec3, r float64) AABB { return geom.BoxAround(c, r) }
+
+// Mesh types.
+type (
+	// Mesh is the in-memory mesh dataset: positions (mutable in place),
+	// immutable CSR adjacency, cells, surface extraction and
+	// restructuring.
+	Mesh = mesh.Mesh
+	// MeshBuilder assembles a Mesh from vertices and cells.
+	MeshBuilder = mesh.Builder
+	// MeshStats characterizes a dataset (V, M, S:V, ...).
+	MeshStats = mesh.Stats
+	// SurfaceDelta describes surface changes from restructuring; feed it
+	// to Octopus.ApplySurfaceDelta.
+	SurfaceDelta = mesh.SurfaceDelta
+)
+
+// NewMeshBuilder returns a mesh builder; the hints are capacities.
+func NewMeshBuilder(vertexHint, cellHint int) *MeshBuilder {
+	return mesh.NewBuilder(vertexHint, cellHint)
+}
+
+// ComputeMeshStats gathers dataset characteristics.
+func ComputeMeshStats(m *Mesh) MeshStats { return mesh.ComputeStats(m) }
+
+// Engine is the common interface of every query execution strategy: Step
+// after each simulation update (maintenance), Query for range queries.
+type Engine = query.Engine
+
+// Octopus is the paper's general engine (non-convex-safe).
+type Octopus = core.Octopus
+
+// Con is OCTOPUS-CON, the convex-mesh variant.
+type Con = core.Con
+
+// Stats carries OCTOPUS' per-phase timings and counters.
+type Stats = core.Stats
+
+// New builds the OCTOPUS engine: one-time surface extraction, zero
+// per-step maintenance afterwards.
+func New(m *Mesh) *Octopus { return core.New(m) }
+
+// NewCon builds OCTOPUS-CON with a stale start-point grid of roughly
+// gridCells cells (<= 0 chooses the paper's 1000).
+func NewCon(m *Mesh, gridCells int) *Con { return core.NewCon(m, gridCells) }
+
+// Hybrid routes each query to OCTOPUS or the linear scan using the
+// analytical model's break-even selectivity (Equation 6) — the decision
+// procedure the paper proposes in §IV-G.
+type Hybrid = core.Hybrid
+
+// NewHybrid builds the model-routed hybrid engine. histCells <= 0 uses a
+// 4096-cell selectivity histogram.
+func NewHybrid(m *Mesh, histCells int, c ModelConstants) *Hybrid {
+	return core.NewHybrid(m, histCells, c)
+}
+
+// Baselines (the paper's competitors plus extended ones), all implementing
+// Engine.
+
+// NewLinearScan returns the linear-scan baseline.
+func NewLinearScan(m *Mesh) Engine { return linearscan.New(m) }
+
+// NewOctree returns the throwaway bucket-octree baseline, rebuilt from
+// scratch on every Step. bucket <= 0 uses the default.
+func NewOctree(m *Mesh, bucket int) Engine { return octree.NewEngine(m, bucket) }
+
+// NewKDTree returns the throwaway kd-tree baseline. bucket <= 0 uses the
+// default.
+func NewKDTree(m *Mesh, bucket int) Engine { return kdtree.NewEngine(m, bucket) }
+
+// NewLURTree returns the lazy-update R-tree baseline. fanout <= 0 uses the
+// paper's 110.
+func NewLURTree(m *Mesh, fanout int) Engine { return lurtree.New(m, fanout) }
+
+// NewQUTrade returns the grace-window R-tree baseline. fanout <= 0 uses
+// the paper's 110; window <= 0 self-tunes.
+func NewQUTrade(m *Mesh, fanout int, window float64) Engine {
+	return qutrade.New(m, fanout, window)
+}
+
+// NewLUGrid returns the lazily updated uniform-grid baseline.
+func NewLUGrid(m *Mesh, targetCells int) Engine { return grid.NewLUEngine(m, targetCells) }
+
+// Analytical model (§IV-G).
+
+// ModelConstants holds the machine constants CS (sequential access) and CR
+// (adjacency access) of the cost model.
+type ModelConstants = core.Constants
+
+// Calibrate measures ModelConstants on this machine using m.
+func Calibrate(m *Mesh) ModelConstants { return core.Calibrate(m) }
+
+// CostOctopus evaluates Equation 3: predicted seconds per OCTOPUS query.
+func CostOctopus(V int, S, M, selectivity float64, c ModelConstants) float64 {
+	return core.CostOctopus(V, S, M, selectivity, c)
+}
+
+// CostScan evaluates Equation 4: predicted seconds per linear scan.
+func CostScan(V int, c ModelConstants) float64 { return core.CostScan(V, c) }
+
+// PredictedSpeedup evaluates Equation 5: OCTOPUS' speedup over the scan.
+func PredictedSpeedup(S, M, selectivity float64, c ModelConstants) float64 {
+	return core.PredictedSpeedup(S, M, selectivity, c)
+}
+
+// BreakEvenSelectivity evaluates Equation 6: the selectivity above which
+// the linear scan wins.
+func BreakEvenSelectivity(S, M float64, c ModelConstants) float64 {
+	return core.BreakEvenSelectivity(S, M, c)
+}
+
+// BruteForce returns the ground-truth result of q by scanning positions —
+// a testing aid.
+func BruteForce(m *Mesh, q AABB) []int32 { return query.BruteForce(m, q) }

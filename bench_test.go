@@ -8,6 +8,7 @@ package octopus_test
 // configurable parameters and prints the full tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"octopus"
@@ -56,6 +57,32 @@ func BenchmarkFig12SurfaceApproximation(b *testing.B)   { runExperiment(b, "fig1
 func BenchmarkFig13HilbertLayout(b *testing.B)          { runExperiment(b, "fig13") }
 func BenchmarkFig14AnimationDatasets(b *testing.B)      { runExperiment(b, "fig14") }
 func BenchmarkFig15AnimationSpeedup(b *testing.B)       { runExperiment(b, "fig15") }
+
+// BenchmarkParallelScaling measures ExecuteBatch throughput against worker
+// count on the parallel-scaling reference workload (NeuroL3, 0.1%
+// selectivity): per worker count, one iteration executes the whole batch.
+// The per-op time of workers=N vs workers=1 is the scaling headline; the
+// "parallel" experiment driver prints the same sweep as a table with
+// built-in serial-equivalence checks.
+func BenchmarkParallelScaling(b *testing.B) {
+	m, err := meshgen.BuildCached(meshgen.NeuroL3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(m, 4096, 42)
+	queries := gen.UniformQueries(256, 0.001)
+	eng := octopus.New(m)
+
+	for _, workers := range bench.WorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				octopus.ExecuteBatch(eng, queries, workers)
+			}
+			b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
 
 // Micro-benchmarks: single-query costs on the reference dataset, the raw
 // numbers behind the figures.

@@ -33,6 +33,30 @@
 // (built once, never updated) supplies a start vertex for a directed walk
 // into the query region.
 //
+// # Parallel query execution
+//
+// Every engine separates its immutable index state from per-query scratch
+// (a Cursor), so the monitoring phase's independent queries can run on
+// all cores. The contract: queries through distinct cursors may run
+// concurrently (the mesh is safe for concurrent readers); Step, in-place
+// deformation and restructuring must never overlap queries — parallelism
+// lives inside the monitoring phase, the update/monitor alternation stays
+// serial. ExecuteBatch packages the pattern:
+//
+//	eng := octopus.New(m)
+//	for step := 0; step < steps; step++ {
+//	    simulate(m.Positions())              // update phase: exclusive
+//	    eng.Step()
+//	    results := octopus.ExecuteBatch(eng, queries, 0) // 0 = GOMAXPROCS
+//	    // results[i] answers queries[i]; in exact mode identical to
+//	    // serial execution
+//	}
+//
+// Per-worker statistics are merged into the engine when the batch
+// completes, so Stats() totals match serial execution. For hand-rolled
+// pools, ParallelEngine.NewCursor hands out the same per-goroutine
+// cursors directly.
+//
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the
 // analytical cost model of §IV-G, and the synthetic dataset generators

@@ -1,0 +1,3 @@
+module octopus
+
+go 1.24

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/linearscan"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+	"octopus/internal/workload"
+)
+
+// ParallelScaling measures batched query throughput against worker count:
+// a fixed batch of uniform queries at the configured selectivity is
+// executed on a deformed NeuroL3 mesh through query.ExecuteBatch with 1,
+// 2, 4 and GOMAXPROCS workers. This is the experiment behind the
+// multi-core headroom argument: the monitoring phase issues many
+// independent queries per time step, the engines are read-only at query
+// time, so throughput should scale with cores until memory bandwidth
+// saturates. Every parallel run is checked against the serial results.
+func ParallelScaling(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "parallel",
+		Title: "Parallel batch execution: throughput vs worker count",
+		Columns: []string{
+			"engine", "workers", "queries", "batch time", "queries/sec", "speedup",
+		},
+	}
+
+	m, err := meshgen.BuildCached(meshgen.NeuroL3, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	deformer, err := sim.DefaultDeformer(meshgen.NeuroL3, sim.DefaultAmplitude)
+	if err != nil {
+		return nil, err
+	}
+	// Deform a few steps so the batch runs on a moved mesh, like the
+	// monitoring phase would.
+	simulation := sim.New(m, deformer)
+	for step := 0; step < 2; step++ {
+		simulation.Step()
+	}
+
+	gen := workload.NewGenerator(m, 4096, cfg.Seed)
+	nq := cfg.Steps * cfg.QueriesPerStep
+	if nq < 64 {
+		nq = 64
+	}
+	queries := gen.UniformQueries(nq, cfg.Selectivity)
+
+	engines := []struct {
+		name string
+		eng  query.ParallelEngine
+	}{
+		{"OCTOPUS", core.New(m)},
+		{"LinearScan", linearscan.New(m)},
+	}
+
+	for _, e := range engines {
+		var serial [][]int32
+		var baseQPS float64
+		for _, workers := range WorkerCounts() {
+			start := time.Now()
+			results := query.ExecuteBatch(e.eng, queries, workers)
+			elapsed := time.Since(start)
+			qps := float64(len(queries)) / elapsed.Seconds()
+			if workers == 1 {
+				serial = results
+				baseQPS = qps
+			} else {
+				for i := range results {
+					if d := query.Diff(results[i], serial[i]); d != "" {
+						return nil, fmt.Errorf(
+							"parallel: %s workers=%d query %d diverges from serial: %s",
+							e.name, workers, i, d)
+					}
+				}
+			}
+			t.AddRow(e.name, workers, len(queries), elapsed, qps, qps/baseQPS)
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"GOMAXPROCS=%d; speedup is relative to the same engine at workers=1; results verified identical to serial",
+		runtime.GOMAXPROCS(0)))
+	return []*Table{t}, nil
+}
+
+// WorkerCounts returns the deduplicated, ascending worker counts the
+// scaling experiment sweeps: 1, 2, 4 and GOMAXPROCS.
+func WorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	counts := make([]int, 0, len(set))
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"octopus/internal/geom"
 	"octopus/internal/grid"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // DefaultGridCells is the grid resolution the paper settles on for
@@ -20,14 +22,17 @@ const DefaultGridCells = 1000
 // supplies a starting vertex near the query center. Staleness can only
 // lengthen the walk, never corrupt results, which is the fundamental
 // difference from using an outdated spatial index for the query itself.
+//
+// Like Octopus, Con is read-only at query time: queries through distinct
+// cursors may run concurrently.
 type Con struct {
 	m    *mesh.Mesh
 	grid *grid.Grid
 
-	crawler
-	seeds []int32
+	resident *Cursor
 
-	stats Stats
+	statsMu sync.Mutex
+	merged  Stats
 }
 
 // NewCon builds OCTOPUS-CON over m with a start-point grid of
@@ -37,11 +42,12 @@ func NewCon(m *mesh.Mesh, gridCells int) *Con {
 	if gridCells <= 0 {
 		gridCells = DefaultGridCells
 	}
-	return &Con{
-		m:       m,
-		grid:    grid.Build(m, gridCells),
-		crawler: newCrawler(m),
+	c := &Con{
+		m:    m,
+		grid: grid.Build(m, gridCells),
 	}
+	c.resident = newCursor(c, m)
+	return c
 }
 
 // Name implements query.Engine.
@@ -51,53 +57,78 @@ func (c *Con) Name() string { return "OCTOPUS-CON" }
 // deliberately left stale.
 func (c *Con) Step() {}
 
-// Query implements query.Engine: stale-grid start-point lookup, directed
-// walk, then crawl.
+// NewCursor implements query.ParallelEngine.
+func (c *Con) NewCursor() query.Cursor { return newCursor(c, c.m) }
+
+// Query implements query.Engine on the resident cursor: stale-grid
+// start-point lookup, directed walk, then crawl. Use QueryWith with
+// per-goroutine cursors for parallel execution.
 func (c *Con) Query(q geom.AABB, out []int32) []int32 {
-	c.stats.Queries++
+	return c.queryWith(c.resident, q, out)
+}
+
+// QueryWith executes the query using cur's scratch. cur must have been
+// created by this engine's NewCursor. Distinct cursors may query
+// concurrently; a single cursor must not.
+func (c *Con) QueryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
+	return c.queryWith(cur, q, out)
+}
+
+func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
+	cur.stats.Queries++
 	before := len(out)
 
 	t0 := time.Now()
 	start, ok := c.grid.NearestPopulated(q.Center())
 	t1 := time.Now()
-	c.stats.SurfaceProbe += t1.Sub(t0) // grid lookup plays the probe's role
+	cur.stats.SurfaceProbe += t1.Sub(t0) // grid lookup plays the probe's role
 
-	c.seeds = c.seeds[:0]
+	cur.seeds = cur.seeds[:0]
 	if ok {
-		c.stats.DirectedWalks++
-		if seed, found := c.directedWalk(q, start); found {
-			c.seeds = append(c.seeds, seed)
+		cur.stats.DirectedWalks++
+		if seed, found := cur.directedWalk(q, start); found {
+			cur.seeds = append(cur.seeds, seed)
 		}
 	}
 	t2 := time.Now()
-	c.stats.DirectedWalk += t2.Sub(t1)
+	cur.stats.DirectedWalk += t2.Sub(t1)
 
-	out = c.crawl(q, c.seeds, out)
-	c.stats.Crawl += time.Since(t2)
-	c.stats.Results += int64(len(out) - before)
+	out = cur.crawl(q, cur.seeds, out)
+	cur.stats.Crawl += time.Since(t2)
+	cur.stats.Results += int64(len(out) - before)
 	return out
 }
 
-// MemoryFootprint implements query.Engine: the stale grid plus crawl
-// structures.
+// MemoryFootprint implements query.Engine: the stale grid plus the
+// resident cursor's crawl structures.
 func (c *Con) MemoryFootprint() int64 {
-	return c.grid.MemoryBytes() + c.crawler.memoryBytes() + int64(cap(c.seeds))*4
+	return c.grid.MemoryBytes() + c.resident.memoryBytes()
 }
 
 // GridMemoryBytes returns the stale grid's footprint alone (Figure 9(d)).
 func (c *Con) GridMemoryBytes() int64 { return c.grid.MemoryBytes() }
 
-// Stats returns the accumulated phase statistics.
+// mergeStats implements cursorOwner.
+func (c *Con) mergeStats(s Stats) {
+	c.statsMu.Lock()
+	c.merged.Add(s)
+	c.statsMu.Unlock()
+}
+
+// Stats returns the accumulated phase statistics: the resident cursor's
+// plus everything folded in from closed worker cursors.
 func (c *Con) Stats() Stats {
-	s := c.stats
-	s.WalkVisited = c.walkVisited
-	s.CrawlVisited = c.crawlVisited
+	c.statsMu.Lock()
+	s := c.merged
+	c.statsMu.Unlock()
+	s.Add(c.resident.Stats())
 	return s
 }
 
-// ResetStats clears the accumulated statistics.
+// ResetStats clears the accumulated statistics (resident and merged).
 func (c *Con) ResetStats() {
-	c.stats = Stats{}
-	c.walkVisited = 0
-	c.crawlVisited = 0
+	c.statsMu.Lock()
+	c.merged = Stats{}
+	c.statsMu.Unlock()
+	c.resident.takeStats()
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// cursorOwner is the engine side of the cursor contract: the engine
+// executes a query against its immutable index state using the cursor's
+// private scratch, and folds the cursor's accumulated statistics back into
+// its resident totals when the cursor is closed.
+type cursorOwner interface {
+	queryWith(cur *Cursor, q geom.AABB, out []int32) []int32
+	mergeStats(s Stats)
+}
+
+// Cursor is the per-worker mutable state of a query: the crawl scratch
+// (visited set, BFS queue, walk frontier), the seed buffer, the
+// approximate-probe sampling phase and a local Stats accumulator. The
+// engine that created a cursor holds only immutable index state at query
+// time, so any number of cursors over the same engine may execute queries
+// concurrently — one cursor per goroutine.
+//
+// A Cursor is not safe for concurrent use; it is cheap enough to create
+// one per worker (its buffers grow to roughly the largest result set the
+// worker has seen).
+type Cursor struct {
+	owner cursorOwner
+	crawler
+	seeds       []int32
+	probeOffset int // rotates the approximate probe's sampling phase
+	stats       Stats
+}
+
+func newCursor(owner cursorOwner, m *mesh.Mesh) *Cursor {
+	return &Cursor{owner: owner, crawler: newCrawler(m)}
+}
+
+// Query implements query.Cursor: it executes q against the owning engine
+// using this cursor's scratch, appending result ids to out.
+func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
+	return c.owner.queryWith(c, q, out)
+}
+
+// Close implements query.Cursor: it folds the cursor's accumulated
+// statistics into the owning engine's resident totals and zeroes the local
+// accumulator. The cursor remains usable afterwards. Close is safe to call
+// from any goroutine (the merge is mutex-guarded engine-side), but must
+// not race with the same cursor's Query.
+func (c *Cursor) Close() {
+	c.owner.mergeStats(c.takeStats())
+}
+
+// Stats returns the statistics accumulated by this cursor since it was
+// created or last closed.
+func (c *Cursor) Stats() Stats {
+	s := c.stats
+	s.WalkVisited = c.walkVisited
+	s.CrawlVisited = c.crawlVisited
+	return s
+}
+
+// takeStats returns the cursor's statistics and resets the accumulator.
+func (c *Cursor) takeStats() Stats {
+	s := c.Stats()
+	c.stats = Stats{}
+	c.walkVisited = 0
+	c.crawlVisited = 0
+	return s
+}
+
+// memoryBytes reports the cursor's scratch footprint.
+func (c *Cursor) memoryBytes() int64 {
+	return c.crawler.memoryBytes() + int64(cap(c.seeds))*4
+}

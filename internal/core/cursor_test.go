@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// cursorWorkload returns a deterministic mixed query stream over m.
+func cursorWorkload(m interface {
+	Position(int32) geom.Vec3
+	NumVertices() int
+}, n int, seed int64) []geom.AABB {
+	r := rand.New(rand.NewSource(seed))
+	qs := make([]geom.AABB, n)
+	for i := range qs {
+		center := m.Position(int32(r.Intn(m.NumVertices())))
+		qs[i] = geom.BoxAround(center, 0.02+r.Float64()*0.2)
+	}
+	return qs
+}
+
+// TestMergedStatsEqualSerialTotals runs the same workload once on the
+// resident cursor and once split across N worker cursors, and asserts the
+// merged counter totals are identical: the stats split must not lose or
+// double-count anything.
+func TestMergedStatsEqualSerialTotals(t *testing.T) {
+	const workers = 4
+	m := buildBox(t, 8)
+	queries := cursorWorkload(m, 48, 7)
+
+	serialEng := New(m)
+	var out []int32
+	for _, q := range queries {
+		out = serialEng.Query(q, out[:0])
+	}
+	want := serialEng.Stats()
+
+	parEng := New(m)
+	cursors := make([]*Cursor, workers)
+	for w := range cursors {
+		cursors[w] = parEng.NewCursor().(*Cursor)
+	}
+	// Deterministic round-robin split so every query runs exactly once.
+	for i, q := range queries {
+		cur := cursors[i%workers]
+		parEng.QueryWith(cur, q, nil)
+	}
+	// Before closing, the engine has seen nothing.
+	if got := parEng.Stats(); got.Queries != 0 {
+		t.Fatalf("engine stats before Close: %+v, want zero", got)
+	}
+	perCursor := int64(0)
+	for _, cur := range cursors {
+		perCursor += cur.Stats().Queries
+		cur.Close()
+	}
+	if perCursor != int64(len(queries)) {
+		t.Fatalf("cursors executed %d queries, want %d", perCursor, len(queries))
+	}
+
+	got := parEng.Stats()
+	if got.Queries != want.Queries || got.Results != want.Results ||
+		got.ProbeChecked != want.ProbeChecked || got.CrawlVisited != want.CrawlVisited ||
+		got.WalkVisited != want.WalkVisited || got.DirectedWalks != want.DirectedWalks {
+		t.Errorf("merged counters diverge from serial:\n got %+v\nwant %+v", got, want)
+	}
+	// Closing again must not double-count (the accumulator was taken).
+	for _, cur := range cursors {
+		cur.Close()
+	}
+	if again := parEng.Stats(); again.Queries != want.Queries {
+		t.Errorf("second Close double-counted: %d queries, want %d", again.Queries, want.Queries)
+	}
+}
+
+// TestConStatsMerge is the same totals check for OCTOPUS-CON's cursor.
+func TestConStatsMerge(t *testing.T) {
+	m := buildBox(t, 8)
+	queries := cursorWorkload(m, 32, 11)
+
+	serialEng := NewCon(m, 0)
+	for _, q := range queries {
+		serialEng.Query(q, nil)
+	}
+	want := serialEng.Stats()
+
+	parEng := NewCon(m, 0)
+	a := parEng.NewCursor().(*Cursor)
+	b := parEng.NewCursor().(*Cursor)
+	for i, q := range queries {
+		if i%2 == 0 {
+			parEng.QueryWith(a, q, nil)
+		} else {
+			parEng.QueryWith(b, q, nil)
+		}
+	}
+	a.Close()
+	b.Close()
+	got := parEng.Stats()
+	if got.Queries != want.Queries || got.Results != want.Results ||
+		got.CrawlVisited != want.CrawlVisited || got.DirectedWalks != want.DirectedWalks {
+		t.Errorf("merged counters diverge from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedProbeMatchesSerial exercises the intra-query sharded surface
+// probe (threshold lowered so a test-sized mesh takes the path) and
+// asserts results are identical to the serial probe, in the same order.
+func TestShardedProbeMatchesSerial(t *testing.T) {
+	m := buildBox(t, 10)
+	serialEng := New(m)
+	shardEng := New(m)
+	shardEng.shardThreshold = 1
+	shardEng.SetProbeWorkers(4)
+
+	queries := cursorWorkload(m, 40, 13)
+	for i, q := range queries {
+		want := serialEng.Query(q, nil)
+		got := shardEng.Query(q, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: result order diverges at %d: %d vs %d",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCursorsRaceFree hammers one engine from many goroutines through
+// distinct cursors; run under -race this validates the read-only-at-query
+// claim for the whole Octopus query path including the sharded probe.
+func TestCursorsRaceFree(t *testing.T) {
+	m := buildBox(t, 8)
+	eng := New(m)
+	eng.shardThreshold = 1
+	eng.SetProbeWorkers(2)
+	queries := cursorWorkload(m, 64, 17)
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		want[i] = query.BruteForce(m, q)
+	}
+
+	workers := runtime.GOMAXPROCS(0) + 2
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := eng.NewCursor()
+			defer cur.Close()
+			for i := w; i < len(queries); i += workers {
+				got := cur.Query(queries[i], nil)
+				if d := query.Diff(got, append([]int32(nil), want[i]...)); d != "" {
+					t.Errorf("worker %d query %d: %s", w, i, d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

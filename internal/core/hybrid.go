@@ -1,10 +1,13 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"octopus/internal/geom"
 	"octopus/internal/histogram"
 	"octopus/internal/linearscan"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // Hybrid puts the analytical model to the use the paper proposes
@@ -18,14 +21,18 @@ import (
 // it stale, but a stale density estimate still separates "small" from
 // "huge" queries, and a wrong routing decision costs performance, never
 // correctness.
+//
+// All routing inputs (histogram, threshold) are immutable and the routing
+// counters are atomic, so Hybrid inherits the cursor-based concurrency of
+// its OCTOPUS side: queries through distinct cursors may run concurrently.
 type Hybrid struct {
 	oct  *Octopus
 	scan *linearscan.Scan
 	hist *histogram.Histogram
 
 	breakEven float64
-	toOctopus int64
-	toScan    int64
+	toOctopus atomic.Int64
+	toScan    atomic.Int64
 }
 
 // NewHybrid builds the hybrid engine: OCTOPUS, a linear scan, a
@@ -55,17 +62,50 @@ func (h *Hybrid) Step() {}
 func (h *Hybrid) BreakEven() float64 { return h.breakEven }
 
 // Routed returns how many queries went to each side.
-func (h *Hybrid) Routed() (octopus, scan int64) { return h.toOctopus, h.toScan }
+func (h *Hybrid) Routed() (octopus, scan int64) {
+	return h.toOctopus.Load(), h.toScan.Load()
+}
 
-// Query implements query.Engine.
-func (h *Hybrid) Query(q geom.AABB, out []int32) []int32 {
+// route decides the engine for q and bumps the routing counters.
+func (h *Hybrid) route(q geom.AABB) (useScan bool) {
 	if h.hist.Selectivity(q) >= h.breakEven {
-		h.toScan++
+		h.toScan.Add(1)
+		return true
+	}
+	h.toOctopus.Add(1)
+	return false
+}
+
+// Query implements query.Engine on the OCTOPUS side's resident cursor.
+func (h *Hybrid) Query(q geom.AABB, out []int32) []int32 {
+	if h.route(q) {
 		return h.scan.Query(q, out)
 	}
-	h.toOctopus++
 	return h.oct.Query(q, out)
 }
+
+// hybridCursor routes each query like Hybrid.Query but runs the OCTOPUS
+// side on a private cursor (the scan side is stateless).
+type hybridCursor struct {
+	h   *Hybrid
+	oct *Cursor
+}
+
+// NewCursor implements query.ParallelEngine.
+func (h *Hybrid) NewCursor() query.Cursor {
+	return &hybridCursor{h: h, oct: newCursor(h.oct, h.oct.m)}
+}
+
+// Query implements query.Cursor.
+func (c *hybridCursor) Query(q geom.AABB, out []int32) []int32 {
+	if c.h.route(q) {
+		return c.h.scan.Query(q, out)
+	}
+	return c.h.oct.queryWith(c.oct, q, out)
+}
+
+// Close implements query.Cursor.
+func (c *hybridCursor) Close() { c.oct.Close() }
 
 // MemoryFootprint implements query.Engine.
 func (h *Hybrid) MemoryFootprint() int64 {

@@ -17,17 +17,33 @@
 // strategy needs no maintenance when the simulation moves vertices — the
 // property that lets it beat both rebuilt and incrementally-maintained
 // indexes under the paper's massive-update workload.
+//
+// # Concurrency
+//
+// Every engine in this package separates its immutable index state (the
+// surface index, the start-point grid, the selectivity histogram) from the
+// per-query mutable scratch, which lives in a Cursor. At query time the
+// engine is read-only: queries issued through distinct cursors (one per
+// goroutine, via NewCursor) may run concurrently, as may the legacy
+// single-cursor Query method from a single goroutine. What is NOT safe is
+// running queries concurrently with anything that mutates the index or
+// the mesh: Step, mesh deformation, restructuring, ApplySurfaceDelta,
+// SetApproximation and SetProbeWorkers all require exclusive access, which
+// mirrors the paper's strictly alternating update/monitor phases.
 package core
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
-// Octopus is the general (non-convex-safe) OCTOPUS engine.
+// Octopus is the general (non-convex-safe) OCTOPUS engine. All fields are
+// immutable during query execution; per-query scratch lives in Cursors.
 type Octopus struct {
 	m *mesh.Mesh
 
@@ -43,17 +59,21 @@ type Octopus struct {
 
 	// approx is the fraction of the surface probed per query; 1 = exact.
 	approx float64
-	// probeOffset rotates the sampling phase between queries so
-	// approximate probes see different strided subsets.
-	probeOffset int
 	// denseSurface is true when surface == [0, len) — the surface-first
 	// layout — enabling the probe's direct position-scan fast path.
 	denseSurface bool
+	// probeWorkers > 1 shards the exact surface probe of a single query
+	// across that many goroutines once the surface has at least
+	// shardThreshold vertices (ShardedProbeThreshold; lowered in tests).
+	probeWorkers   int
+	shardThreshold int
 
-	crawler
-	seeds []int32
+	// resident is the cursor behind the single-threaded Query method.
+	resident *Cursor
 
-	stats Stats
+	// statsMu guards merged, the totals folded in from closed cursors.
+	statsMu sync.Mutex
+	merged  Stats
 }
 
 // Stats accumulates per-phase timings and counters across queries — the
@@ -73,15 +93,30 @@ type Stats struct {
 // Total returns the summed phase time.
 func (s Stats) Total() time.Duration { return s.SurfaceProbe + s.DirectedWalk + s.Crawl }
 
+// Add accumulates o into s field by field — the merge operation applied to
+// each worker cursor's local Stats after a parallel batch.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.Results += o.Results
+	s.SurfaceProbe += o.SurfaceProbe
+	s.DirectedWalk += o.DirectedWalk
+	s.Crawl += o.Crawl
+	s.ProbeChecked += o.ProbeChecked
+	s.WalkVisited += o.WalkVisited
+	s.CrawlVisited += o.CrawlVisited
+	s.DirectedWalks += o.DirectedWalks
+}
+
 // New builds the OCTOPUS engine over m: it extracts the mesh surface once
 // (the paper's one-time preprocessing; 62 s for the 33 GB dataset there)
-// and allocates the reusable crawl structures.
+// and allocates the resident cursor's reusable crawl structures.
 func New(m *mesh.Mesh) *Octopus {
 	o := &Octopus{
-		m:       m,
-		approx:  1,
-		crawler: newCrawler(m),
+		m:              m,
+		approx:         1,
+		shardThreshold: ShardedProbeThreshold,
 	}
+	o.resident = newCursor(o, m)
 	o.surface = m.SurfaceVertices() // ascending order: near-sequential probe
 	o.surfaceSlot = make(map[int32]int32, len(o.surface))
 	for i, v := range o.surface {
@@ -113,7 +148,8 @@ func (o *Octopus) Name() string { return "OCTOPUS" }
 func (o *Octopus) Step() {}
 
 // SetApproximation sets the fraction of surface vertices probed per query
-// (§IV-H2). frac is clamped to (0, 1]; 1 restores exact execution.
+// (§IV-H2). frac is clamped to (0, 1]; 1 restores exact execution. Not
+// safe concurrently with queries.
 func (o *Octopus) SetApproximation(frac float64) {
 	if frac <= 0 || frac > 1 {
 		frac = 1
@@ -121,12 +157,48 @@ func (o *Octopus) SetApproximation(frac float64) {
 	o.approx = frac
 }
 
+// ShardedProbeThreshold is the surface size above which an exact probe is
+// split across probe workers (SetProbeWorkers): below it the probe is
+// already a fraction of the query cost and the fork/join overhead of
+// sharding would dominate.
+const ShardedProbeThreshold = 1 << 16
+
+// SetProbeWorkers sets how many goroutines an exact surface probe of a
+// single query is sharded across when the surface has at least
+// ShardedProbeThreshold vertices. n <= 1 restores the serial probe. The
+// sharded probe visits surface slots in the same ascending order as the
+// serial one, so results are identical. Not safe concurrently with
+// queries.
+func (o *Octopus) SetProbeWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	o.probeWorkers = n
+}
+
 // SurfaceSize returns the number of vertices in the surface index.
 func (o *Octopus) SurfaceSize() int { return len(o.surface) }
 
-// Query implements query.Engine, executing Algorithm 1.
+// NewCursor implements query.ParallelEngine: it returns fresh per-worker
+// query scratch over this engine.
+func (o *Octopus) NewCursor() query.Cursor { return newCursor(o, o.m) }
+
+// Query implements query.Engine, executing Algorithm 1 on the resident
+// cursor. It must not be called concurrently with itself; use QueryWith
+// with per-goroutine cursors for parallel execution.
 func (o *Octopus) Query(q geom.AABB, out []int32) []int32 {
-	o.stats.Queries++
+	return o.queryWith(o.resident, q, out)
+}
+
+// QueryWith executes Algorithm 1 using cur's scratch. cur must have been
+// created by this engine's NewCursor. Distinct cursors may query
+// concurrently; a single cursor must not.
+func (o *Octopus) QueryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
+	return o.queryWith(cur, q, out)
+}
+
+func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
+	cur.stats.Queries++
 	before := len(out)
 
 	// Phase 1: surface probe. The surface array is in ascending id order,
@@ -136,7 +208,7 @@ func (o *Octopus) Query(q geom.AABB, out []int32) []int32 {
 	// the analytical model); the closest-vertex scan for the directed walk
 	// runs as a second pass only in the rare no-seed case.
 	t0 := time.Now()
-	o.seeds = o.seeds[:0]
+	cur.seeds = cur.seeds[:0]
 	pos := o.m.Positions()
 	stride := 1
 	if o.approx < 1 {
@@ -148,29 +220,36 @@ func (o *Octopus) Query(q geom.AABB, out []int32) []int32 {
 	probed := int64(0)
 	start := 0
 	if stride > 1 {
-		start = o.probeOffset % stride
-		o.probeOffset++
+		start = cur.probeOffset % stride
+		cur.probeOffset++
 	}
-	if o.denseSurface && stride == 1 {
+	switch {
+	case stride == 1 && o.probeWorkers > 1 && len(o.surface) >= o.shardThreshold:
+		// Large exact probe: shard the surface scan across goroutines
+		// inside this single query. Seeds are concatenated in shard order,
+		// preserving the serial probe's ascending order exactly.
+		o.probeSharded(cur, q, pos)
+		probed = int64(len(o.surface))
+	case stride == 1 && o.denseSurface:
 		// Surface-first layout: the surface index is the id prefix, so the
 		// probe is a pure sequential scan of pos[:len(surface)].
 		for i, p := range pos[:len(o.surface)] {
 			if q.Contains(p) {
-				o.seeds = append(o.seeds, int32(i))
+				cur.seeds = append(cur.seeds, int32(i))
 			}
 		}
 		probed = int64(len(o.surface))
-	} else {
+	default:
 		for idx := start; idx < len(o.surface); idx += stride {
 			v := o.surface[idx]
 			probed++
 			if q.Contains(pos[v]) {
-				o.seeds = append(o.seeds, v)
+				cur.seeds = append(cur.seeds, v)
 			}
 		}
 	}
 	minVertex := int32(-1)
-	if len(o.seeds) == 0 && len(o.surface) > 0 {
+	if len(cur.seeds) == 0 && len(o.surface) > 0 {
 		// No seed: find a surface vertex near the query to start the
 		// directed walk. The walk only needs a reasonable start, not the
 		// exact closest vertex (its cost is insignificant either way,
@@ -186,53 +265,93 @@ func (o *Octopus) Query(q geom.AABB, out []int32) []int32 {
 			}
 		}
 	}
-	o.stats.ProbeChecked += probed
+	cur.stats.ProbeChecked += probed
 	t1 := time.Now()
-	o.stats.SurfaceProbe += t1.Sub(t0)
+	cur.stats.SurfaceProbe += t1.Sub(t0)
 
 	// Phase 2: directed walk, only when the probe found no seed. Exact
 	// mode uses the fallback-strengthened walk; approximate mode uses the
 	// paper's plain greedy walk (accuracy is already being traded away).
-	if len(o.seeds) == 0 {
+	if len(cur.seeds) == 0 {
 		if minVertex >= 0 {
-			o.stats.DirectedWalks++
+			cur.stats.DirectedWalks++
 			var seed int32
 			var ok bool
 			if stride == 1 {
-				seed, ok = o.directedWalk(q, minVertex)
+				seed, ok = cur.directedWalk(q, minVertex)
 			} else {
-				seed, ok = o.greedyWalk(q, minVertex)
+				seed, ok = cur.greedyWalk(q, minVertex)
 			}
 			if ok {
-				o.seeds = append(o.seeds, seed)
+				cur.seeds = append(cur.seeds, seed)
 			}
 		}
 		t2 := time.Now()
-		o.stats.DirectedWalk += t2.Sub(t1)
+		cur.stats.DirectedWalk += t2.Sub(t1)
 		t1 = t2
 	}
 
 	// Phase 3: crawling.
-	out = o.crawl(q, o.seeds, out)
-	o.stats.Crawl += time.Since(t1)
-	o.stats.Results += int64(len(out) - before)
+	out = cur.crawl(q, cur.seeds, out)
+	cur.stats.Crawl += time.Since(t1)
+	cur.stats.Results += int64(len(out) - before)
 	return out
 }
 
+// probeSharded is the exact surface probe split across o.probeWorkers
+// goroutines: each worker scans a contiguous slot range into a private
+// seed buffer, and the buffers are concatenated in shard order so the
+// combined seed sequence is identical to the serial scan's.
+func (o *Octopus) probeSharded(cur *Cursor, q geom.AABB, pos []geom.Vec3) {
+	workers := o.probeWorkers
+	n := len(o.surface)
+	parts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []int32
+			if o.denseSurface {
+				for i, p := range pos[lo:hi] {
+					if q.Contains(p) {
+						local = append(local, int32(lo+i))
+					}
+				}
+			} else {
+				for _, v := range o.surface[lo:hi] {
+					if q.Contains(pos[v]) {
+						local = append(local, v)
+					}
+				}
+			}
+			parts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		cur.seeds = append(cur.seeds, p...)
+	}
+}
+
 // MemoryFootprint implements query.Engine: the surface index (array +
-// hash) plus the crawl structures — the accounting of Figures 6(b) and
-// 10(b).
+// hash) plus the resident cursor's crawl structures — the accounting of
+// Figures 6(b) and 10(b). Extra cursors report nothing here; their scratch
+// is per-worker and transient.
 func (o *Octopus) MemoryFootprint() int64 {
 	return int64(cap(o.surface))*4 +
 		int64(len(o.surfaceSlot))*16 +
-		o.crawler.memoryBytes() +
-		int64(cap(o.seeds))*4
+		o.resident.memoryBytes()
 }
 
 // ApplySurfaceDelta folds a restructuring delta (§IV-E2) into the surface
 // index: hash-table inserts and deletes, no rebuild. Deltas may break the
 // surface-first layout, in which case the probe falls back to the
-// id-array path.
+// id-array path. Not safe concurrently with queries.
 func (o *Octopus) ApplySurfaceDelta(d mesh.SurfaceDelta) {
 	defer o.refreshDense()
 	for _, v := range d.Removed {
@@ -256,17 +375,27 @@ func (o *Octopus) ApplySurfaceDelta(d mesh.SurfaceDelta) {
 	}
 }
 
-// Stats returns the accumulated phase statistics.
+// mergeStats implements cursorOwner.
+func (o *Octopus) mergeStats(s Stats) {
+	o.statsMu.Lock()
+	o.merged.Add(s)
+	o.statsMu.Unlock()
+}
+
+// Stats returns the accumulated phase statistics: the resident cursor's
+// plus everything folded in from closed worker cursors.
 func (o *Octopus) Stats() Stats {
-	s := o.stats
-	s.WalkVisited = o.walkVisited
-	s.CrawlVisited = o.crawlVisited
+	o.statsMu.Lock()
+	s := o.merged
+	o.statsMu.Unlock()
+	s.Add(o.resident.Stats())
 	return s
 }
 
-// ResetStats clears the accumulated statistics.
+// ResetStats clears the accumulated statistics (resident and merged).
 func (o *Octopus) ResetStats() {
-	o.stats = Stats{}
-	o.walkVisited = 0
-	o.crawlVisited = 0
+	o.statsMu.Lock()
+	o.merged = Stats{}
+	o.statsMu.Unlock()
+	o.resident.takeStats()
 }

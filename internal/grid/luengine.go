@@ -3,6 +3,7 @@ package grid
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // LUEngine is a lazily updated grid index in the spirit of LU-Grid (Xiong,
@@ -50,3 +51,8 @@ func (e *LUEngine) Query(q geom.AABB, out []int32) []int32 {
 func (e *LUEngine) MemoryFootprint() int64 {
 	return e.g.MemoryBytes() + int64(len(e.last))*24
 }
+
+// NewCursor implements query.ParallelEngine. All mutation happens in
+// Step (cell relocation); Query only reads the grid and the position
+// array, so the engine is stateless at query time.
+func (e *LUEngine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }

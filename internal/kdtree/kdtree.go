@@ -7,6 +7,7 @@ package kdtree
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // DefaultBucketSize is the leaf capacity used when none is given.
@@ -157,3 +158,8 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 { return e.tree.Query(q
 
 // MemoryFootprint implements query.Engine.
 func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+
+// NewCursor implements query.ParallelEngine. The tree is rebuilt only in
+// Step; Query is a read-only traversal, so the engine is stateless at
+// query time.
+func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }

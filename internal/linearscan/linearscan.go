@@ -7,6 +7,7 @@ package linearscan
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // Scan is the linear-scan query engine.
@@ -37,3 +38,8 @@ func (s *Scan) Query(q geom.AABB, out []int32) []int32 {
 
 // MemoryFootprint implements query.Engine; the scan stores nothing.
 func (s *Scan) MemoryFootprint() int64 { return 0 }
+
+// NewCursor implements query.ParallelEngine. The scan carries no
+// query-time scratch — Query only reads the position array — so the
+// cursor is the engine itself.
+func (s *Scan) NewCursor() query.Cursor { return query.StatelessCursor{Engine: s} }

@@ -12,6 +12,7 @@ package lurtree
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 	"octopus/internal/rtree"
 )
 
@@ -85,3 +86,9 @@ func (e *Engine) Tree() *rtree.Tree { return e.tree }
 func (e *Engine) MaintenanceCounts() (lazy, reinserts int64) {
 	return e.lazyUpdates, e.reinserts
 }
+
+// NewCursor implements query.ParallelEngine. The maintenance counters
+// move only in Step; Query is a read-only R-tree traversal (stack-local
+// recursion, no shared scratch), so the engine is stateless at query
+// time.
+func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }

@@ -125,14 +125,20 @@ func (m *Mesh) Neighbors(v int32) []int32 {
 // Degree returns the number of neighbours of vertex v.
 func (m *Mesh) Degree(v int32) int { return len(m.Neighbors(v)) }
 
-// NumEdges returns the number of undirected edges.
-func (m *Mesh) NumEdges() int {
-	total := 0
-	for v := int32(0); v < int32(len(m.pos)); v++ {
-		total += m.Degree(v)
+// degreeSum returns the summed vertex degree (2x the edge count). The CSR
+// base contributes len(adjList); vertices with a patched neighbour list
+// swap their base degree for the patch's length. O(patched) instead of a
+// full O(V) Degree loop — on a never-restructured mesh it is O(1).
+func (m *Mesh) degreeSum() int {
+	total := len(m.adjList)
+	for v, p := range m.patched {
+		total += len(p) - int(m.adjStart[v+1]-m.adjStart[v])
 	}
-	return total / 2
+	return total
 }
+
+// NumEdges returns the number of undirected edges.
+func (m *Mesh) NumEdges() int { return m.degreeSum() / 2 }
 
 // AvgDegree returns the mesh degree M of the paper's analytical model: the
 // average number of edges per vertex.
@@ -140,11 +146,7 @@ func (m *Mesh) AvgDegree() float64 {
 	if len(m.pos) == 0 {
 		return 0
 	}
-	total := 0
-	for v := int32(0); v < int32(len(m.pos)); v++ {
-		total += m.Degree(v)
-	}
-	return float64(total) / float64(len(m.pos))
+	return float64(m.degreeSum()) / float64(len(m.pos))
 }
 
 // Bounds returns the tight axis-aligned bounding box of all vertices at

@@ -323,3 +323,43 @@ func TestStats(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestEdgeCountWithPatchedOverlay pins the O(patched) edge accounting of
+// NumEdges/AvgDegree against the definitional per-vertex Degree sum,
+// before and after restructuring has populated the patch layer (SplitCell
+// adds a vertex and edges; DeleteCell removes edges).
+func TestEdgeCountWithPatchedOverlay(t *testing.T) {
+	m := buildTetGrid(t, 3, 3, 3)
+	degreeLoop := func() int {
+		total := 0
+		for v := int32(0); v < int32(m.NumVertices()); v++ {
+			total += m.Degree(v)
+		}
+		return total
+	}
+	check := func(label string) {
+		t.Helper()
+		want := degreeLoop()
+		if got := m.NumEdges() * 2; got != want {
+			t.Errorf("%s: degree sum via NumEdges = %d, want %d", label, got, want)
+		}
+		wantAvg := float64(want) / float64(m.NumVertices())
+		if got := m.AvgDegree(); got != wantAvg {
+			t.Errorf("%s: AvgDegree = %v, want %v", label, got, wantAvg)
+		}
+	}
+
+	check("pristine")
+	m.EnableRestructuring()
+	if _, _, err := m.SplitCell(0); err != nil {
+		t.Fatal(err)
+	}
+	check("after split")
+	if _, err := m.DeleteCell(1); err != nil {
+		t.Fatal(err)
+	}
+	check("after delete")
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package octree
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // Engine adapts the throwaway octree to the query.Engine lifecycle: every
@@ -41,3 +42,8 @@ func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
 
 // Tree exposes the current tree for inspection in tests and diagnostics.
 func (e *Engine) Tree() *Tree { return e.tree }
+
+// NewCursor implements query.ParallelEngine. The tree is rebuilt only in
+// Step; Query is a read-only traversal, so the engine is stateless at
+// query time.
+func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }

@@ -1,0 +1,119 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"octopus/internal/geom"
+)
+
+// Cursor is per-worker query state bound to the engine that created it.
+// The engine holds only immutable index state at query time, so any
+// number of cursors over the same engine may execute queries concurrently
+// — one cursor per goroutine; a single cursor is not safe for concurrent
+// use. Queries must still not run concurrently with Step, mesh
+// deformation or restructuring (the paper's alternating update/monitor
+// phases).
+type Cursor interface {
+	// Query appends the ids of all vertices whose current position lies
+	// in q to out and returns the extended slice, using only this
+	// cursor's scratch for mutable state. In exact mode the result is
+	// deterministic for a given engine and mesh state; OCTOPUS's
+	// approximate mode (SetApproximation < 1) rotates its sampling
+	// phase with the cursor's own query history, so approximate results
+	// depend on which cursor ran which query.
+	Query(q geom.AABB, out []int32) []int32
+
+	// Close folds whatever statistics the cursor accumulated back into
+	// the engine's resident totals. The cursor remains usable. Close must
+	// not race with the same cursor's Query; engines guard the merge
+	// itself, so distinct cursors may close concurrently.
+	Close()
+}
+
+// ParallelEngine is an Engine whose immutable index state is separated
+// from per-query scratch, so queries can execute concurrently through
+// per-goroutine cursors. All engines in this repository implement it.
+type ParallelEngine interface {
+	Engine
+
+	// NewCursor returns fresh query scratch over this engine.
+	NewCursor() Cursor
+}
+
+// StatelessCursor adapts an engine whose Query method touches no mutable
+// engine state (the linear scan, the rebuilt-per-step trees, the R-tree
+// baselines) to the Cursor interface: the "scratch" is the engine itself.
+type StatelessCursor struct {
+	Engine Engine
+}
+
+// Query implements Cursor by delegating to the stateless engine.
+func (c StatelessCursor) Query(q geom.AABB, out []int32) []int32 {
+	return c.Engine.Query(q, out)
+}
+
+// Close implements Cursor; a stateless engine has nothing to merge.
+func (c StatelessCursor) Close() {}
+
+// ExecuteBatch executes queries against eng using a pool of workers, each
+// with its own cursor, and returns one result slice per query
+// (Results[i] answers queries[i]). workers <= 0 uses GOMAXPROCS. After
+// the pool drains, every cursor is closed so per-cursor statistics are
+// merged into the engine's resident totals exactly once.
+//
+// Queries are handed to workers through a shared counter, so the
+// assignment of queries to workers is nondeterministic — but each query's
+// result slice is produced by exactly one cursor and, in exact mode, is
+// identical to what serial execution would produce. In OCTOPUS's
+// approximate mode (SetApproximation < 1) the probe's sampling phase
+// follows each cursor's query history, so approximate result sets are
+// scheduling-dependent — approximation already trades exactness away.
+//
+// ExecuteBatch must not run concurrently with Step, mesh deformation or
+// restructuring, nor with other queries on the engine's resident cursor.
+func ExecuteBatch(eng ParallelEngine, queries []geom.AABB, workers int) [][]int32 {
+	results := make([][]int32, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		cur := eng.NewCursor()
+		for i, q := range queries {
+			results[i] = cur.Query(q, nil)
+		}
+		cur.Close()
+		return results
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	cursors := make([]Cursor, workers)
+	for w := range cursors {
+		cursors[w] = eng.NewCursor()
+		wg.Add(1)
+		go func(cur Cursor) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				results[i] = cur.Query(queries[i], nil)
+			}
+		}(cursors[w])
+	}
+	wg.Wait()
+	// The barrier has passed: merge every worker's statistics.
+	for _, cur := range cursors {
+		cur.Close()
+	}
+	return results
+}

@@ -8,6 +8,29 @@
 // all index maintenance (rebuilds, lazy updates, window checks) so its cost
 // is charged to the total query response time; Query answers a 3-D range
 // query on the current state.
+//
+// # Concurrency
+//
+// Engines keep only immutable index state at query time; all per-query
+// mutable scratch lives in a Cursor. The contract, precisely:
+//
+//   - Queries through distinct cursors (one per goroutine, from
+//     ParallelEngine.NewCursor) may run concurrently — mesh.Mesh is safe
+//     for concurrent readers, and so is every engine's index.
+//   - A single cursor — including the resident one behind Engine.Query —
+//     must not be used from two goroutines at once.
+//   - Nothing that mutates the index or the mesh may overlap queries:
+//     Step, in-place deformation, restructuring, ApplySurfaceDelta and
+//     engine tuning setters all require exclusive access. This mirrors
+//     the paper's simulation loop, which alternates update and monitor
+//     phases strictly.
+//
+// ExecuteBatch packages the safe pattern: a worker pool, one cursor per
+// worker, statistics merged after the pool drains:
+//
+//	eng := core.New(m)                       // any ParallelEngine
+//	results := query.ExecuteBatch(eng, queries, runtime.GOMAXPROCS(0))
+//	// results[i] answers queries[i], identical to serial execution
 package query
 
 import (
@@ -18,9 +41,12 @@ import (
 	"octopus/internal/mesh"
 )
 
-// Engine is a range-query execution strategy over a dynamic mesh.
-// Implementations are single-threaded like the paper's, and Query must not
-// be called concurrently with Step.
+// Engine is a range-query execution strategy over a dynamic mesh. Query
+// and Step use the engine's resident cursor and are single-threaded, like
+// the paper's measurement loop; Query must not be called concurrently
+// with itself or with Step. For multi-core execution use the cursor API
+// (ParallelEngine, ExecuteBatch), which runs queries concurrently through
+// per-goroutine scratch — see the package comment for the full contract.
 type Engine interface {
 	// Name returns the display name used in experiment reports.
 	Name() string

@@ -12,6 +12,7 @@ package qutrade
 import (
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 	"octopus/internal/rtree"
 )
 
@@ -119,6 +120,11 @@ func (e *Engine) Tree() *rtree.Tree { return e.tree }
 
 // Window returns the current grace-window half extent.
 func (e *Engine) Window() float64 { return e.window }
+
+// NewCursor implements query.ParallelEngine. The window and escape
+// counters move only in Step; Query is a read-only R-tree traversal plus
+// a position filter, so the engine is stateless at query time.
+func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
 
 // EscapeRate returns the cumulative fraction of updates that triggered
 // structural maintenance.

@@ -96,7 +96,9 @@ func (n *node) slot(c *node) int {
 }
 
 // Search invokes fn for every entry whose box intersects q. fn returning
-// false stops the search early.
+// false stops the search early. Search mutates no tree state (its only
+// scratch is the call stack), so concurrent Searches are safe as long as
+// no Insert/Delete/UpdateInPlace runs alongside them.
 func (t *Tree) Search(q geom.AABB, fn func(id int32, box geom.AABB) bool) {
 	t.search(t.root, q, fn)
 }

@@ -57,6 +57,33 @@ func ComputeMeshStats(m *Mesh) MeshStats { return mesh.ComputeStats(m) }
 // after each simulation update (maintenance), Query for range queries.
 type Engine = query.Engine
 
+// ParallelEngine is an Engine whose immutable index state is separated
+// from per-query scratch: NewCursor hands out per-goroutine cursors so
+// independent queries execute concurrently. Every engine constructor in
+// this package returns a ParallelEngine.
+type ParallelEngine = query.ParallelEngine
+
+// Cursor is per-goroutine query scratch bound to the engine that created
+// it (ParallelEngine.NewCursor). Distinct cursors may Query concurrently;
+// a single cursor may not. Close folds the cursor's statistics back into
+// the engine.
+type Cursor = query.Cursor
+
+// EngineCursor is the concrete cursor of the OCTOPUS-family engines
+// (Octopus, Con), accepted by their typed QueryWith methods.
+type EngineCursor = core.Cursor
+
+// ExecuteBatch executes queries on eng with a pool of workers (one cursor
+// each) and returns one result slice per query, identical to serial
+// execution (in exact mode; approximate OCTOPUS results are
+// scheduling-dependent). workers <= 0 uses GOMAXPROCS. It must not run concurrently
+// with Step, deformation or restructuring — parallelism applies within
+// the monitoring phase, not across the simulation's update/monitor
+// alternation.
+func ExecuteBatch(eng ParallelEngine, queries []AABB, workers int) [][]int32 {
+	return query.ExecuteBatch(eng, queries, workers)
+}
+
 // Octopus is the paper's general engine (non-convex-safe).
 type Octopus = core.Octopus
 
@@ -89,28 +116,28 @@ func NewHybrid(m *Mesh, histCells int, c ModelConstants) *Hybrid {
 // Engine.
 
 // NewLinearScan returns the linear-scan baseline.
-func NewLinearScan(m *Mesh) Engine { return linearscan.New(m) }
+func NewLinearScan(m *Mesh) ParallelEngine { return linearscan.New(m) }
 
 // NewOctree returns the throwaway bucket-octree baseline, rebuilt from
 // scratch on every Step. bucket <= 0 uses the default.
-func NewOctree(m *Mesh, bucket int) Engine { return octree.NewEngine(m, bucket) }
+func NewOctree(m *Mesh, bucket int) ParallelEngine { return octree.NewEngine(m, bucket) }
 
 // NewKDTree returns the throwaway kd-tree baseline. bucket <= 0 uses the
 // default.
-func NewKDTree(m *Mesh, bucket int) Engine { return kdtree.NewEngine(m, bucket) }
+func NewKDTree(m *Mesh, bucket int) ParallelEngine { return kdtree.NewEngine(m, bucket) }
 
 // NewLURTree returns the lazy-update R-tree baseline. fanout <= 0 uses the
 // paper's 110.
-func NewLURTree(m *Mesh, fanout int) Engine { return lurtree.New(m, fanout) }
+func NewLURTree(m *Mesh, fanout int) ParallelEngine { return lurtree.New(m, fanout) }
 
 // NewQUTrade returns the grace-window R-tree baseline. fanout <= 0 uses
 // the paper's 110; window <= 0 self-tunes.
-func NewQUTrade(m *Mesh, fanout int, window float64) Engine {
+func NewQUTrade(m *Mesh, fanout int, window float64) ParallelEngine {
 	return qutrade.New(m, fanout, window)
 }
 
 // NewLUGrid returns the lazily updated uniform-grid baseline.
-func NewLUGrid(m *Mesh, targetCells int) Engine { return grid.NewLUEngine(m, targetCells) }
+func NewLUGrid(m *Mesh, targetCells int) ParallelEngine { return grid.NewLUEngine(m, targetCells) }
 
 // Analytical model (§IV-G).
 

@@ -1,0 +1,174 @@
+package octopus_test
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"octopus"
+)
+
+// parallelEngines returns every public engine as a ParallelEngine over m.
+func parallelEngines(m *octopus.Mesh) []octopus.ParallelEngine {
+	return []octopus.ParallelEngine{
+		octopus.New(m),
+		octopus.NewCon(m, 0),
+		octopus.NewHybrid(m, 0, octopus.Calibrate(m)),
+		octopus.NewLinearScan(m),
+		octopus.NewOctree(m, 0),
+		octopus.NewKDTree(m, 0),
+		octopus.NewLURTree(m, 16),
+		octopus.NewQUTrade(m, 16, 0),
+		octopus.NewLUGrid(m, 512),
+	}
+}
+
+// deform applies one step of in-place vertex movement (every vertex moves,
+// like the paper's workload).
+func deform(m *octopus.Mesh, step int) {
+	pos := m.Positions()
+	for i := range pos {
+		pos[i] = pos[i].Add(octopus.V(
+			0.004*math.Sin(float64(step)+pos[i].Y*7),
+			0.004*math.Cos(float64(step)+pos[i].Z*9),
+			0.004*math.Sin(float64(step)+pos[i].X*8),
+		))
+	}
+}
+
+// TestExecuteBatchMatchesBruteForce runs batched parallel execution for
+// every engine on a deformed mesh at 1, 4 and GOMAXPROCS workers and
+// checks each query's result set against the ground truth. Run with
+// -race, this is the concurrency-contract test for the whole engine
+// family.
+func TestExecuteBatchMatchesBruteForce(t *testing.T) {
+	m := buildBlock(t, 8)
+	engines := parallelEngines(m)
+
+	for step := 0; step < 2; step++ {
+		deform(m, step)
+		for _, e := range engines {
+			e.Step()
+		}
+	}
+
+	// Candidate queries are pre-filtered against a serial reference engine:
+	// OCTOPUS is exact only when the result set is edge-connected inside
+	// the box (Algorithm 1 crawls from its seeds), and tiny boxes can
+	// split a result across in-box-disconnected vertices. That limitation
+	// is serial behavior, not what this test targets; the floor below
+	// guarantees the filter cannot hollow the test out.
+	ref := octopus.New(m)
+	r := rand.New(rand.NewSource(5))
+	var queries []octopus.AABB
+	var want [][]int32
+	for i := 0; i < 48; i++ {
+		center := m.Position(int32(r.Intn(m.NumVertices())))
+		q := octopus.BoxAround(center, 0.04+r.Float64()*0.18)
+		truth := sorted(octopus.BruteForce(m, q))
+		if !equalIDs(sorted(ref.Query(q, nil)), truth) {
+			continue
+		}
+		queries = append(queries, q)
+		want = append(want, truth)
+	}
+	if len(queries) < 36 {
+		t.Fatalf("only %d/48 candidate queries are exact serially; filter too aggressive", len(queries))
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, e := range engines {
+			results := octopus.ExecuteBatch(e, queries, workers)
+			if len(results) != len(queries) {
+				t.Fatalf("%s workers=%d: %d result slices, want %d",
+					e.Name(), workers, len(results), len(queries))
+			}
+			for i := range results {
+				if !equalIDs(sorted(results[i]), want[i]) {
+					t.Fatalf("%s workers=%d query %d: %d results, want %d",
+						e.Name(), workers, i, len(results[i]), len(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteBatchIdenticalToSerial asserts that parallel execution
+// returns byte-identical result slices — same ids, same order — as serial
+// single-cursor execution, for every engine.
+func TestExecuteBatchIdenticalToSerial(t *testing.T) {
+	m := buildBlock(t, 8)
+	deform(m, 0)
+	engines := parallelEngines(m)
+	for _, e := range engines {
+		e.Step()
+	}
+
+	r := rand.New(rand.NewSource(9))
+	queries := make([]octopus.AABB, 32)
+	for i := range queries {
+		center := m.Position(int32(r.Intn(m.NumVertices())))
+		queries[i] = octopus.BoxAround(center, 0.04+r.Float64()*0.18)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, e := range engines {
+		serial := octopus.ExecuteBatch(e, queries, 1)
+		parallel := octopus.ExecuteBatch(e, queries, workers)
+		for i := range serial {
+			if !equalIDs(parallel[i], serial[i]) {
+				t.Fatalf("%s query %d: parallel result differs from serial (order or content)",
+					e.Name(), i)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchMergesStats checks that after a parallel batch the
+// engine's Stats totals equal serial execution of the same workload: the
+// per-cursor accumulators are merged exactly once at the barrier.
+func TestExecuteBatchMergesStats(t *testing.T) {
+	m := buildBlock(t, 8)
+	r := rand.New(rand.NewSource(3))
+	queries := make([]octopus.AABB, 24)
+	for i := range queries {
+		center := m.Position(int32(r.Intn(m.NumVertices())))
+		queries[i] = octopus.BoxAround(center, 0.05+r.Float64()*0.15)
+	}
+
+	serialEng := octopus.New(m)
+	for _, q := range queries {
+		serialEng.Query(q, nil)
+	}
+	want := serialEng.Stats()
+
+	parEng := octopus.New(m)
+	octopus.ExecuteBatch(parEng, queries, 4)
+	got := parEng.Stats()
+	if got.Queries != want.Queries || got.Results != want.Results ||
+		got.ProbeChecked != want.ProbeChecked || got.CrawlVisited != want.CrawlVisited {
+		t.Errorf("parallel stats diverge from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestExecuteBatchEdgeCases covers the degenerate inputs.
+func TestExecuteBatchEdgeCases(t *testing.T) {
+	m := buildBlock(t, 4)
+	eng := octopus.New(m)
+	if got := octopus.ExecuteBatch(eng, nil, 8); len(got) != 0 {
+		t.Errorf("empty batch: %d results", len(got))
+	}
+	one := []octopus.AABB{m.Bounds()}
+	got := octopus.ExecuteBatch(eng, one, 8) // workers clamped to len(queries)
+	if len(got) != 1 || len(got[0]) != m.NumVertices() {
+		t.Errorf("single-query batch: got %d slices", len(got))
+	}
+	got = octopus.ExecuteBatch(eng, one, 0) // 0 = GOMAXPROCS
+	if len(got) != 1 || len(got[0]) != m.NumVertices() {
+		t.Errorf("workers=0 batch: got %d slices", len(got))
+	}
+}

@@ -57,6 +57,26 @@
 // pools, ParallelEngine.NewCursor hands out the same per-goroutine
 // cursors directly.
 //
+// # k-nearest-neighbor queries
+//
+// Every engine also answers kNN queries ("the k vertices closest to this
+// probe point" — the shape of the paper's monitoring scenarios), again
+// with zero maintenance for OCTOPUS: a surface probe finds the closest
+// surface vertex, a greedy descent walks towards the probe point, and a
+// best-first crawl expands mesh edges outward, keeping the k best
+// candidates in a bounded heap and stopping at the k-th-best radius.
+// Results are nearest first with ties broken by vertex id — identical to
+// BruteForceKNN on well-shaped meshes (DESIGN.md §8 states the exact
+// guarantee):
+//
+//	ids := eng.KNN(octopus.V(x, y, z), 10, nil)            // serial
+//	results := octopus.ExecuteKNNBatch(eng, probes, 0)     // all cores
+//
+// The competitors answer kNN through their native machinery (kd-tree
+// best-first descent, octree ordered descent, grid cell rings, R-tree
+// pruned descent, scan selection heap), so comparisons stay honest; see
+// DESIGN.md §8.
+//
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the
 // analytical cost model of §IV-G, and the synthetic dataset generators

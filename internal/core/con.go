@@ -29,6 +29,16 @@ type Con struct {
 	m    *mesh.Mesh
 	grid *grid.Grid
 
+	// compOf/compReps: vertex→component labels and one walk start per
+	// connected component, computed once at build time (deformation never
+	// changes them). A strictly convex mesh has one component; on
+	// multi-component input the walk is retried per component when the
+	// grid-supplied start finds nothing, and the kNN crawl always visits
+	// every component — see Octopus and DESIGN.md §4 for the exact
+	// guarantee.
+	compOf   []int32
+	compReps []int32
+
 	resident *Cursor
 
 	statsMu sync.Mutex
@@ -45,6 +55,17 @@ func NewCon(m *mesh.Mesh, gridCells int) *Con {
 	c := &Con{
 		m:    m,
 		grid: grid.Build(m, gridCells),
+	}
+	count, labels := m.ConnectedComponents()
+	c.compOf = labels
+	c.compReps = make([]int32, count)
+	for i := range c.compReps {
+		c.compReps[i] = -1
+	}
+	for v := int32(0); v < int32(len(labels)); v++ {
+		if c.compReps[labels[v]] < 0 {
+			c.compReps[labels[v]] = v
+		}
 	}
 	c.resident = newCursor(c, m)
 	return c
@@ -83,11 +104,29 @@ func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	t1 := time.Now()
 	cur.stats.SurfaceProbe += t1.Sub(t0) // grid lookup plays the probe's role
 
+	// Directed walk from the grid-supplied start; on failure, retried from
+	// every other component's representative. The walk can only reach its
+	// start's component, so on (non-convex) multi-component input a query
+	// interior to a secondary component would otherwise come back empty.
+	// The common case — the stale grid hands back a vertex of the right
+	// component — pays nothing for the retries.
 	cur.seeds = cur.seeds[:0]
+	startComp := int32(-1)
 	if ok {
+		startComp = c.compOf[start]
 		cur.stats.DirectedWalks++
 		if seed, found := cur.directedWalk(q, start); found {
 			cur.seeds = append(cur.seeds, seed)
+		}
+	}
+	if len(cur.seeds) == 0 {
+		for ci, rep := range c.compReps {
+			if int32(ci) == startComp {
+				continue // walked above, from the grid's closer start
+			}
+			if seed, found := cur.directedWalk(q, rep); found {
+				cur.seeds = append(cur.seeds, seed)
+			}
 		}
 	}
 	t2 := time.Now()
@@ -99,10 +138,12 @@ func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	return out
 }
 
-// MemoryFootprint implements query.Engine: the stale grid plus the
-// resident cursor's crawl structures.
+// MemoryFootprint implements query.Engine: the stale grid, the component
+// labels and the resident cursor's crawl structures.
 func (c *Con) MemoryFootprint() int64 {
-	return c.grid.MemoryBytes() + c.resident.memoryBytes()
+	return c.grid.MemoryBytes() +
+		int64(len(c.compOf)+len(c.compReps))*4 +
+		c.resident.memoryBytes()
 }
 
 // GridMemoryBytes returns the stale grid's footprint alone (Figure 9(d)).

@@ -103,6 +103,33 @@ func (c *crawler) walk(q geom.AABB, start int32, exact bool) (seed int32, ok boo
 	return cur, true
 }
 
+// pointDescent greedily walks from start to a local minimum of the
+// Euclidean distance to p: the kNN analog of the directed walk, moving to
+// the strictly closest neighbour until no neighbour improves. The returned
+// vertex seeds the best-first kNN crawl; it need not be the globally
+// closest vertex of the component — the crawl's expansion corrects for an
+// imperfect start.
+func (c *crawler) pointDescent(p geom.Vec3, start int32) int32 {
+	pos := c.m.Positions()
+	cur := start
+	curDist := pos[cur].Dist2(p)
+	c.walkVisited++
+	for {
+		best := int32(-1)
+		bestDist := curDist
+		for _, w := range c.m.Neighbors(cur) {
+			if d := pos[w].Dist2(p); d < bestDist {
+				best, bestDist = w, d
+			}
+		}
+		if best < 0 {
+			return cur
+		}
+		cur, curDist = best, bestDist
+		c.walkVisited++
+	}
+}
+
 // bestFirstWalk resumes a stalled directed walk: vertices are expanded in
 // order of increasing distance to q until one inside q is found or the
 // connected component is exhausted (query disjoint from this part of the

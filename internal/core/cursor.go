@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // cursorOwner is the engine side of the cursor contract: the engine
@@ -11,6 +14,7 @@ import (
 // its resident totals when the cursor is closed.
 type cursorOwner interface {
 	queryWith(cur *Cursor, q geom.AABB, out []int32) []int32
+	knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32
 	mergeStats(s Stats)
 }
 
@@ -30,16 +34,100 @@ type Cursor struct {
 	seeds       []int32
 	probeOffset int // rotates the approximate probe's sampling phase
 	stats       Stats
+
+	// kbest is the bounded k-candidate max-heap of the kNN crawl (DESIGN.md
+	// §8): it holds the k closest vertices found so far and its Bound is
+	// the crawl's stop radius. The surface probe and the crawl both feed
+	// the heap, and a vertex occupying two slots would evict a legitimate
+	// candidate, so the crawl skips vertices the probe already offered:
+	// knnSlot/knnStride/knnStart describe the probe's coverage (surface
+	// slot map plus sampling phase; knnSlot nil when nothing was probed).
+	kbest     query.KBest
+	knnSlot   map[int32]int32
+	knnStride int
+	knnStart  int
+
+	// Sharded-probe scratch (Octopus.probeSharded): per-shard seed buffers
+	// and prebuilt worker closures, reused across queries so the sharded
+	// exact probe allocates nothing in steady state. The closures read the
+	// probe inputs from the shard* fields, which the engine sets before
+	// releasing the workers.
+	shardParts   [][]int32
+	shardRun     []func()
+	shardWG      sync.WaitGroup
+	shardQ       geom.AABB
+	shardPos     []geom.Vec3
+	shardSurface []int32
+	shardDense   bool
+}
+
+// ensureShards sizes the sharded-probe scratch for the given worker count,
+// building the per-shard buffers and worker closures once; subsequent
+// queries with the same worker count reuse them as-is.
+func (c *Cursor) ensureShards(workers int) {
+	if len(c.shardRun) == workers {
+		return
+	}
+	c.shardParts = make([][]int32, workers)
+	c.shardRun = make([]func(), workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		c.shardRun[w] = func() {
+			defer c.shardWG.Done()
+			n := len(c.shardSurface)
+			workers := len(c.shardRun)
+			lo, hi := w*n/workers, (w+1)*n/workers
+			local := c.shardParts[w][:0]
+			if c.shardDense {
+				for i, p := range c.shardPos[lo:hi] {
+					if c.shardQ.Contains(p) {
+						local = append(local, int32(lo+i))
+					}
+				}
+			} else {
+				for _, v := range c.shardSurface[lo:hi] {
+					if c.shardQ.Contains(c.shardPos[v]) {
+						local = append(local, v)
+					}
+				}
+			}
+			c.shardParts[w] = local
+		}
+	}
 }
 
 func newCursor(owner cursorOwner, m *mesh.Mesh) *Cursor {
 	return &Cursor{owner: owner, crawler: newCrawler(m)}
 }
 
+// probedInKNN reports whether the current kNN query's surface probe
+// already offered v to the candidate heap: v must be a surface vertex
+// whose slot lies on the probe's sampling lattice.
+func (c *Cursor) probedInKNN(v int32) bool {
+	if c.knnSlot == nil {
+		return false
+	}
+	slot, ok := c.knnSlot[v]
+	if !ok {
+		return false
+	}
+	if c.knnStride <= 1 {
+		return true
+	}
+	return (int(slot)-c.knnStart)%c.knnStride == 0
+}
+
 // Query implements query.Cursor: it executes q against the owning engine
 // using this cursor's scratch, appending result ids to out.
 func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 	return c.owner.queryWith(c, q, out)
+}
+
+// KNN implements query.KNNCursor: it executes a k-nearest-neighbor query
+// against the owning engine using this cursor's scratch, appending the k
+// closest vertex ids to out, nearest first.
+func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return c.owner.knnWith(c, p, k, out)
 }
 
 // Close implements query.Cursor: it folds the cursor's accumulated
@@ -71,5 +159,9 @@ func (c *Cursor) takeStats() Stats {
 
 // memoryBytes reports the cursor's scratch footprint.
 func (c *Cursor) memoryBytes() int64 {
-	return c.crawler.memoryBytes() + int64(cap(c.seeds))*4
+	b := c.crawler.memoryBytes() + int64(cap(c.seeds))*4 + c.kbest.MemoryBytes()
+	for _, p := range c.shardParts {
+		b += int64(cap(p)) * 4
+	}
+	return b
 }

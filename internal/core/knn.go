@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"octopus/internal/geom"
+)
+
+// This file implements k-nearest-neighbor queries for the OCTOPUS family
+// by mesh crawling — the same machinery that answers range queries without
+// index maintenance, aimed at the paper's naturally kNN-shaped monitoring
+// scenarios ("the k synapses closest to this probe point"). Execution has
+// the same three phases as a range query:
+//
+//  1. Surface probe — scan the surface index for the vertex closest to
+//     the probe point (strided in approximate mode, like range probes).
+//  2. Point descent — greedily walk from that vertex to a local minimum
+//     of the distance to the probe point.
+//  3. Best-first crawl — expand mesh edges outward from the descent's end
+//     in order of increasing distance, keeping the k best candidates in a
+//     bounded max-heap (Cursor.kbest) and stopping once the frontier's
+//     next vertex is farther than the current k-th best.
+//
+// Phases 2 and 3 run once per connected component (descending from the
+// component's precomputed representative), so disjoint sub-meshes — the
+// two-neuron datasets, restructured fragments — are searched exactly. Like
+// the range crawl, the stop criterion assumes the distance field over the
+// mesh graph has no deep local ridges: the k-th-best radius must not cut
+// the graph between the start and a closer pocket. On the solid,
+// well-shaped meshes of the evaluation this holds and results equal brute
+// force; DESIGN.md discusses the limitation.
+
+// KNN implements query.KNNEngine on the resident cursor. It must not be
+// called concurrently with itself; use cursor KNN (or ExecuteKNNBatch)
+// with per-goroutine cursors for parallel execution.
+func (o *Octopus) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return o.knnWith(o.resident, p, k, out)
+}
+
+// knnWith implements cursorOwner for kNN execution.
+func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
+	if k <= 0 || o.m.NumVertices() == 0 {
+		return out
+	}
+	cur.stats.Queries++
+	before := len(out)
+
+	// Phase 1: probe the surface for the vertex closest to p. Exact mode
+	// scans the whole surface; approximate mode samples it with the range
+	// probe's rotating stride (the crawl still expands exactly — only the
+	// start quality, and hence the expansion work, degrades).
+	t0 := time.Now()
+	pos := o.m.Positions()
+	stride := o.probeStride()
+	start := 0
+	if stride > 1 {
+		start = cur.probeOffset % stride
+		cur.probeOffset++
+	}
+	// The probe does two things with every surface vertex it scans. First,
+	// it offers the vertex to the result heap directly: the distance is
+	// already computed, so in exact mode no surface vertex can ever be
+	// missing from the result — even one in a concave pocket the crawl
+	// cannot reach — and only interior vertices depend on the crawl.
+	// Second, it keeps the closest few as crawl starts: when the probe
+	// point sits between two folds of the mesh (two branches of a neuron),
+	// the k-ball spans both, and a crawl seeded in one fold would stop at
+	// the k-th-best radius before reaching the other; any fold close to p
+	// presents surface close to p, so multi-starting from the top surface
+	// candidates seeds every nearby fold. The candidate list is a
+	// fixed-size insertion array — no allocation, at most maxKNNStarts
+	// entries ordered by distance.
+	cur.kbest.Reset(k)
+	cur.knnSlot, cur.knnStride, cur.knnStart = o.surfaceSlot, stride, start
+	var cands [maxKNNStarts]knnStart
+	nc := 0
+	want := k
+	if want > maxKNNStarts {
+		want = maxKNNStarts
+	}
+	probed := int64(0)
+	// bound mirrors kbest.Bound() so the common probe iteration pays one
+	// float compare, not an Offer call; d == bound still calls Offer for
+	// the id tie-break.
+	bound := math.Inf(1)
+	for idx := start; idx < len(o.surface); idx += stride {
+		v := o.surface[idx]
+		probed++
+		d := pos[v].Dist2(p)
+		if d <= bound {
+			cur.kbest.Offer(d, v)
+			if cur.kbest.Full() {
+				bound = cur.kbest.Bound()
+			}
+		}
+		if nc == want && d >= cands[nc-1].d {
+			continue
+		}
+		i := nc
+		if nc < want {
+			nc++
+		} else {
+			i--
+		}
+		for i > 0 && cands[i-1].d > d {
+			cands[i] = cands[i-1]
+			i--
+		}
+		cands[i] = knnStart{d: d, v: v}
+	}
+	cur.stats.ProbeChecked += probed
+	cur.stats.SurfaceProbe += time.Since(t0)
+
+	// Phases 2+3, once per component: descend every start of the
+	// component to a local minimum, then crawl best-first from all of them
+	// at once into the shared k-candidate heap (already primed with the
+	// probed surface vertices). Components with no probe candidate start
+	// from their precomputed representative, so disjoint sub-meshes are
+	// still searched.
+	for ci, rep := range o.compReps {
+		cur.seeds = cur.seeds[:0]
+		for i := 0; i < nc; i++ {
+			if o.compOf[cands[i].v] == int32(ci) {
+				cur.seeds = append(cur.seeds, cands[i].v)
+			}
+		}
+		if len(cur.seeds) == 0 {
+			cur.seeds = append(cur.seeds, rep)
+		}
+		t1 := time.Now()
+		cur.stats.DirectedWalks++
+		for i, s := range cur.seeds {
+			cur.seeds[i] = cur.pointDescent(p, s)
+		}
+		t2 := time.Now()
+		cur.stats.DirectedWalk += t2.Sub(t1)
+		cur.knnCrawl(p, cur.seeds)
+		cur.stats.Crawl += time.Since(t2)
+	}
+
+	out = cur.kbest.AppendSorted(out)
+	cur.stats.Results += int64(len(out) - before)
+	return out
+}
+
+// maxKNNStarts bounds the surface candidates a kNN probe keeps as crawl
+// starts (min(k, maxKNNStarts) are kept): enough to seed every mesh fold
+// near the probe point, small enough that the insertion array stays in
+// registers.
+const maxKNNStarts = 8
+
+// knnStart is one probe candidate of the kNN surface scan.
+type knnStart struct {
+	d float64
+	v int32
+}
+
+// KNN implements query.KNNEngine for OCTOPUS-CON on the resident cursor:
+// the stale grid supplies the start vertex instead of a surface probe.
+func (c *Con) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return c.knnWith(c.resident, p, k, out)
+}
+
+// knnWith implements cursorOwner for kNN execution on OCTOPUS-CON.
+func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
+	if k <= 0 || c.m.NumVertices() == 0 {
+		return out
+	}
+	cur.stats.Queries++
+	before := len(out)
+
+	t0 := time.Now()
+	gridStart, ok := c.grid.NearestPopulated(p)
+	cur.stats.SurfaceProbe += time.Since(t0) // grid lookup plays the probe's role
+
+	cur.kbest.Reset(k)
+	cur.knnSlot = nil // no surface probe: the crawl offers everything
+	startComp := int32(-1)
+	if ok {
+		startComp = c.compOf[gridStart]
+	}
+	for ci, rep := range c.compReps {
+		s := rep
+		if int32(ci) == startComp {
+			s = gridStart
+		}
+		t1 := time.Now()
+		cur.stats.DirectedWalks++
+		cur.seeds = append(cur.seeds[:0], cur.pointDescent(p, s))
+		t2 := time.Now()
+		cur.stats.DirectedWalk += t2.Sub(t1)
+		cur.knnCrawl(p, cur.seeds)
+		cur.stats.Crawl += time.Since(t2)
+	}
+
+	out = cur.kbest.AppendSorted(out)
+	cur.stats.Results += int64(len(out) - before)
+	return out
+}
+
+// KNN implements query.KNNEngine for the hybrid: the analytical model's
+// routing carries over with k/V playing the role of the selectivity — a
+// kNN query "selects" k of V vertices, so when k/V exceeds the break-even
+// selectivity the scan side's selection heap wins over crawling.
+func (h *Hybrid) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	if h.routeKNN(k) {
+		return h.scan.KNN(p, k, out)
+	}
+	return h.oct.KNN(p, k, out)
+}
+
+// routeKNN decides the engine for a kNN query and bumps the routing
+// counters.
+func (h *Hybrid) routeKNN(k int) (useScan bool) {
+	v := h.oct.m.NumVertices()
+	if v > 0 && float64(k)/float64(v) >= h.breakEven {
+		h.toScan.Add(1)
+		return true
+	}
+	h.toOctopus.Add(1)
+	return false
+}
+
+// KNN implements query.KNNCursor for the hybrid's cursor.
+func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	if c.h.routeKNN(k) {
+		return c.h.scan.KNN(p, k, out)
+	}
+	return c.h.oct.knnWith(c.oct, p, k, out)
+}
+
+// knnCrawl expands mesh edges best-first from the given start vertices
+// (all of one connected component), offering every reached vertex to the
+// cursor's k-candidate heap. The frontier (the crawler's walk heap) is
+// ordered by distance to p; expansion stops when the heap holds k
+// candidates and the frontier's closest vertex is farther than the k-th
+// best — no vertex beyond the frontier can then enter the result,
+// provided closer vertices are reachable without crossing the k-th-best
+// radius (see the file comment). Multiple starts share one visited set,
+// so overlapping expansions never offer a vertex twice. Vertices at
+// exactly the k-th-best distance keep expanding so id tie-breaks match
+// brute force.
+func (c *Cursor) knnCrawl(p geom.Vec3, starts []int32) {
+	pos := c.m.Positions()
+	c.visited.reset()
+	c.heap = c.heap[:0]
+	for _, s := range starts {
+		if c.visited.add(s) {
+			c.heapPush(heapItem{dist: pos[s].Dist2(p), v: s})
+		}
+	}
+	for len(c.heap) > 0 {
+		item := c.heapPop()
+		if c.kbest.Full() && item.dist > c.kbest.Bound() {
+			return
+		}
+		if !c.probedInKNN(item.v) {
+			c.kbest.Offer(item.dist, item.v)
+		}
+		c.crawlVisited++
+		for _, w := range c.m.Neighbors(item.v) {
+			if c.visited.add(w) {
+				d := pos[w].Dist2(p)
+				if !c.kbest.Full() || d <= c.kbest.Bound() {
+					c.heapPush(heapItem{dist: d, v: w})
+				}
+			}
+		}
+	}
+}

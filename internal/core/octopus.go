@@ -57,6 +57,20 @@ type Octopus struct {
 	// (§IV-E2).
 	surfaceSlot map[int32]int32
 
+	// compOf labels every vertex with its connected-component id and
+	// compReps holds one walk representative per component (a surface
+	// vertex when the component has one). Both are rebuilt on New and
+	// ApplySurfaceDelta — deformation never changes connectivity, so they
+	// are as maintenance-free as the surface index. They exist because a
+	// directed walk can only ever reach vertices of its start's component:
+	// when a range probe finds no seed at all, the walk is retried per
+	// component (so a query interior to a secondary component is found),
+	// and the kNN crawl always visits every component. A seeded range
+	// query still crawls only the components its seeds or primary walk
+	// reach — see DESIGN.md §4 for the exact guarantee.
+	compOf   []int32
+	compReps []int32
+
 	// approx is the fraction of the surface probed per query; 1 = exact.
 	approx float64
 	// denseSurface is true when surface == [0, len) — the surface-first
@@ -123,7 +137,60 @@ func New(m *mesh.Mesh) *Octopus {
 		o.surfaceSlot[v] = int32(i)
 	}
 	o.refreshDense()
+	o.refreshComponents()
 	return o
+}
+
+// refreshComponents rebuilds the vertex→component labels and the
+// per-component walk representatives. Each representative is the
+// component's first surface vertex, falling back to its lowest-id vertex
+// for components without boundary faces (isolated vertices left behind by
+// restructuring).
+func (o *Octopus) refreshComponents() {
+	count, labels := o.m.ConnectedComponents()
+	o.compOf = labels
+	o.compReps = make([]int32, count)
+	for i := range o.compReps {
+		o.compReps[i] = -1
+	}
+	assigned := 0
+	for _, v := range o.surface {
+		if c := labels[v]; o.compReps[c] < 0 {
+			o.compReps[c] = v
+			assigned++
+		}
+	}
+	if assigned == count {
+		return
+	}
+	for v := int32(0); v < int32(len(labels)); v++ {
+		if c := labels[v]; o.compReps[c] < 0 {
+			o.compReps[c] = v
+		}
+	}
+}
+
+// probeStride returns the surface-probe sampling stride of the current
+// approximation setting: 1 in exact mode, else ~1/approx clamped to the
+// surface length. The clamp matters: a stride beyond the surface length
+// would let the rotating start offset skip the whole surface — zero
+// vertices probed and, because the closest-vertex scan shares the offset,
+// no walk start either, silently returning empty. Clamping keeps at least
+// one probe per query on arbitrarily small surfaces. Both the range probe
+// and the kNN probe use this stride, so their sampling behavior can never
+// drift apart.
+func (o *Octopus) probeStride() int {
+	if o.approx >= 1 {
+		return 1
+	}
+	stride := int(1 / o.approx)
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > len(o.surface) && len(o.surface) > 0 {
+		stride = len(o.surface)
+	}
+	return stride
 }
 
 // refreshDense detects the surface-first vertex layout (surface ids form
@@ -210,13 +277,7 @@ func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	t0 := time.Now()
 	cur.seeds = cur.seeds[:0]
 	pos := o.m.Positions()
-	stride := 1
-	if o.approx < 1 {
-		stride = int(1 / o.approx)
-		if stride < 1 {
-			stride = 1
-		}
-	}
+	stride := o.probeStride()
 	probed := int64(0)
 	start := 0
 	if stride > 1 {
@@ -270,19 +331,40 @@ func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	cur.stats.SurfaceProbe += t1.Sub(t0)
 
 	// Phase 2: directed walk, only when the probe found no seed. Exact
-	// mode uses the fallback-strengthened walk; approximate mode uses the
-	// paper's plain greedy walk (accuracy is already being traded away).
+	// mode uses the fallback-strengthened walk; if it finds nothing, the
+	// walk is retried from every other component's representative — a walk
+	// can only reach its start's component, so a query interior to a
+	// secondary component would otherwise come back empty. The retries run
+	// only on primary-walk failure: the common interior query (seed found
+	// in the closest component) pays nothing, while a query disjoint from
+	// the mesh — already the expensive exactness case — now proves every
+	// component empty rather than just the closest one. Approximate mode
+	// uses the paper's plain greedy walk from the single closest sample
+	// (accuracy is already being traded away).
 	if len(cur.seeds) == 0 {
-		if minVertex >= 0 {
+		switch {
+		case stride == 1 && (minVertex >= 0 || len(o.compReps) > 0):
 			cur.stats.DirectedWalks++
-			var seed int32
-			var ok bool
-			if stride == 1 {
-				seed, ok = cur.directedWalk(q, minVertex)
-			} else {
-				seed, ok = cur.greedyWalk(q, minVertex)
+			minComp := int32(-1)
+			if minVertex >= 0 {
+				minComp = o.compOf[minVertex]
+				if seed, ok := cur.directedWalk(q, minVertex); ok {
+					cur.seeds = append(cur.seeds, seed)
+				}
 			}
-			if ok {
+			if len(cur.seeds) == 0 {
+				for ci, rep := range o.compReps {
+					if int32(ci) == minComp {
+						continue // walked above, from a closer start
+					}
+					if seed, ok := cur.directedWalk(q, rep); ok {
+						cur.seeds = append(cur.seeds, seed)
+					}
+				}
+			}
+		case minVertex >= 0:
+			cur.stats.DirectedWalks++
+			if seed, ok := cur.greedyWalk(q, minVertex); ok {
 				cur.seeds = append(cur.seeds, seed)
 			}
 		}
@@ -300,40 +382,31 @@ func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 
 // probeSharded is the exact surface probe split across o.probeWorkers
 // goroutines: each worker scans a contiguous slot range into a private
-// seed buffer, and the buffers are concatenated in shard order so the
-// combined seed sequence is identical to the serial scan's.
+// per-shard seed buffer, and the buffers are concatenated in shard order
+// so the combined seed sequence is identical to the serial scan's. All
+// scratch — the shard buffers and the worker closures — lives on the
+// cursor and is reused across queries, so the sharded probe is
+// allocation-free in steady state (and concurrent cursors never share
+// shard state).
 func (o *Octopus) probeSharded(cur *Cursor, q geom.AABB, pos []geom.Vec3) {
 	workers := o.probeWorkers
+	cur.ensureShards(workers)
+	cur.shardQ = q
+	cur.shardPos = pos
+	cur.shardDense = o.denseSurface
+	cur.shardSurface = o.surface
 	n := len(o.surface)
-	parts := make([][]int32, workers)
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		if lo == hi {
+			cur.shardParts[w] = cur.shardParts[w][:0]
 			continue
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var local []int32
-			if o.denseSurface {
-				for i, p := range pos[lo:hi] {
-					if q.Contains(p) {
-						local = append(local, int32(lo+i))
-					}
-				}
-			} else {
-				for _, v := range o.surface[lo:hi] {
-					if q.Contains(pos[v]) {
-						local = append(local, v)
-					}
-				}
-			}
-			parts[w] = local
-		}(w, lo, hi)
+		cur.shardWG.Add(1)
+		go cur.shardRun[w]() // prebuilt func value: no per-query closure
 	}
-	wg.Wait()
-	for _, p := range parts {
+	cur.shardWG.Wait()
+	for _, p := range cur.shardParts {
 		cur.seeds = append(cur.seeds, p...)
 	}
 }
@@ -345,15 +418,21 @@ func (o *Octopus) probeSharded(cur *Cursor, q geom.AABB, pos []geom.Vec3) {
 func (o *Octopus) MemoryFootprint() int64 {
 	return int64(cap(o.surface))*4 +
 		int64(len(o.surfaceSlot))*16 +
+		int64(len(o.compOf)+len(o.compReps))*4 +
 		o.resident.memoryBytes()
 }
 
 // ApplySurfaceDelta folds a restructuring delta (§IV-E2) into the surface
 // index: hash-table inserts and deletes, no rebuild. Deltas may break the
 // surface-first layout, in which case the probe falls back to the
-// id-array path. Not safe concurrently with queries.
+// id-array path. Restructuring is the one event that can change mesh
+// connectivity, so the component labels and walk representatives are
+// rebuilt here too (an O(V+E) sweep on the rare path, per the paper's
+// accounting of restructuring as an infrequent, charged event). Not safe
+// concurrently with queries.
 func (o *Octopus) ApplySurfaceDelta(d mesh.SurfaceDelta) {
 	defer o.refreshDense()
+	defer o.refreshComponents()
 	for _, v := range d.Removed {
 		slot, ok := o.surfaceSlot[v]
 		if !ok {

@@ -6,6 +6,34 @@ import (
 	"octopus/internal/geom"
 )
 
+// TestShardedProbeSteadyStateAllocs pins the sharded exact probe's
+// allocation behavior: after warm-up, a query whose probe is sharded
+// across workers must not allocate — the per-shard seed buffers and the
+// worker closures live on the cursor and are reused, so the only possible
+// allocations are result-slice growth (excluded by reusing out) and
+// runtime goroutine bookkeeping (recycled in steady state).
+func TestShardedProbeSteadyStateAllocs(t *testing.T) {
+	m := buildBox(t, 8)
+	o := New(m)
+	o.SetProbeWorkers(4)
+	o.shardThreshold = 1 // force sharding despite the small test surface
+
+	q := geom.BoxAround(geom.V(0.5, 0.5, 0.5), 0.4)
+	out := make([]int32, 0, m.NumVertices())
+	for i := 0; i < 32; i++ { // warm up buffers, goroutine pool, idSet
+		out = o.Query(q, out[:0])
+	}
+	if len(out) == 0 {
+		t.Fatal("probe found nothing; test geometry broken")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out = o.Query(q, out[:0])
+	})
+	if allocs > 1 {
+		t.Errorf("sharded probe allocates %.1f objects/query in steady state, want 0", allocs)
+	}
+}
+
 func mkpos(n int) []geom.Vec3 {
 	pos := make([]geom.Vec3, n)
 	for i := range pos {

@@ -14,6 +14,7 @@ import (
 
 	"octopus/internal/geom"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // Grid is a uniform grid of vertex-id buckets.
@@ -148,6 +149,131 @@ func (g *Grid) ringSearch(cx, cy, cz, r int) (int32, bool) {
 		}
 	}
 	return 0, false
+}
+
+// KNN appends the k ids whose positions (looked up through pos) are
+// closest to p, nearest first (ties by ascending id): an expanding
+// cell-ring search. Chebyshev rings of cells around p's cell are scanned
+// outward; the search stops once k candidates are held and every cell
+// beyond the scanned block is provably farther than the k-th best.
+//
+// The lower bound used for stopping is the distance from p to the nearest
+// face of the scanned block that still has grid cells behind it. Faces on
+// the grid boundary contribute no bound — boundary cells hold vertices
+// clamped in from outside the build-time bounds, so the grid edge bounds
+// nothing — which keeps the search exact even after positions drift
+// outside the grid.
+func (g *Grid) KNN(p geom.Vec3, pos []geom.Vec3, k int, out []int32) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	if g.count == 0 || k <= 0 {
+		return b.AppendSorted(out)
+	}
+	cx := g.clampAxis((p.X - g.bounds.Min.X) * g.inv.X)
+	cy := g.clampAxis((p.Y - g.bounds.Min.Y) * g.inv.Y)
+	cz := g.clampAxis((p.Z - g.bounds.Min.Z) * g.inv.Z)
+	maxR := g.nx
+	if g.ny > maxR {
+		maxR = g.ny
+	}
+	if g.nz > maxR {
+		maxR = g.nz
+	}
+	for r := 0; r <= maxR; r++ {
+		g.ringScan(p, pos, cx, cy, cz, r, &b)
+		if b.Full() && g.outsideDist2(p, cx, cy, cz, r) > b.Bound() {
+			break
+		}
+	}
+	return b.AppendSorted(out)
+}
+
+// ringScan offers every vertex of the Chebyshev ring of radius r around
+// cell (cx, cy, cz) to the candidate heap. Rows interior to the shell on
+// both other axes contain exactly two shell cells (x0 and x1), so the
+// sweep visits O(r^2) cells per ring, not the full (2r+1)^3 cube.
+func (g *Grid) ringScan(p geom.Vec3, pos []geom.Vec3, cx, cy, cz, r int, b *query.KBest) {
+	x0, x1 := cx-r, cx+r
+	y0, y1 := cy-r, cy+r
+	z0, z1 := cz-r, cz+r
+	for z := z0; z <= z1; z++ {
+		if z < 0 || z >= g.nz {
+			continue
+		}
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= g.ny {
+				continue
+			}
+			if r == 0 || z == z0 || z == z1 || y == y0 || y == y1 {
+				for x := x0; x <= x1; x++ {
+					g.offerCell(x, y, z, p, pos, b)
+				}
+			} else {
+				g.offerCell(x0, y, z, p, pos, b)
+				g.offerCell(x1, y, z, p, pos, b)
+			}
+		}
+	}
+}
+
+// offerCell offers every vertex of cell (x, y, z) to the candidate heap;
+// out-of-grid coordinates are ignored.
+func (g *Grid) offerCell(x, y, z int, p geom.Vec3, pos []geom.Vec3, b *query.KBest) {
+	if x < 0 || x >= g.nx {
+		return
+	}
+	for _, id := range g.cells[x+y*g.nx+z*g.nx*g.ny] {
+		b.Offer(pos[id].Dist2(p), id)
+	}
+}
+
+// outsideDist2 returns a lower bound on the squared distance from p to any
+// vertex held by a cell outside the block of cells within Chebyshev radius
+// r of (cx, cy, cz): the distance from p to the nearest block face with
+// cells behind it. +Inf means the block covers the whole grid. Degenerate
+// axes (inv == 0: all vertices clamp to index 0) contribute no bound —
+// there are no populated cells beyond them.
+func (g *Grid) outsideDist2(p geom.Vec3, cx, cy, cz, r int) float64 {
+	d := math.Inf(1)
+	consider := func(dd float64) {
+		if dd < d {
+			d = dd
+		}
+	}
+	if g.inv.X > 0 {
+		w := 1 / g.inv.X
+		if cx-r > 0 {
+			consider(p.X - (g.bounds.Min.X + float64(cx-r)*w))
+		}
+		if cx+r < g.nx-1 {
+			consider(g.bounds.Min.X + float64(cx+r+1)*w - p.X)
+		}
+	}
+	if g.inv.Y > 0 {
+		w := 1 / g.inv.Y
+		if cy-r > 0 {
+			consider(p.Y - (g.bounds.Min.Y + float64(cy-r)*w))
+		}
+		if cy+r < g.ny-1 {
+			consider(g.bounds.Min.Y + float64(cy+r+1)*w - p.Y)
+		}
+	}
+	if g.inv.Z > 0 {
+		w := 1 / g.inv.Z
+		if cz-r > 0 {
+			consider(p.Z - (g.bounds.Min.Z + float64(cz-r)*w))
+		}
+		if cz+r < g.nz-1 {
+			consider(g.bounds.Min.Z + float64(cz+r+1)*w - p.Z)
+		}
+	}
+	if math.IsInf(d, 1) {
+		return d
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d * d
 }
 
 // Relocate moves vertex id from the cell containing old to the cell

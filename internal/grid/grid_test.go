@@ -183,3 +183,96 @@ func TestDegenerateBounds(t *testing.T) {
 		t.Errorf("flat grid query = %v", got)
 	}
 }
+
+// refKNN is the full-scan reference for the ring-search tests.
+func refKNN(pos []geom.Vec3, p geom.Vec3, k int) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	for i, q := range pos {
+		b.Offer(q.Dist2(p), int32(i))
+	}
+	return b.AppendSorted(nil)
+}
+
+// TestKNNMatchesBruteForce checks the expanding cell-ring search against a
+// full scan, including the case the ring bound must survive: vertices that
+// drifted outside the build-time bounds and sit clamped in boundary cells,
+// probed from points that are themselves outside the grid.
+func TestKNNMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(2000)
+		pos := randomPositions(n, r)
+		bounds := geom.EmptyBox()
+		for _, p := range pos {
+			bounds = bounds.Extend(p)
+		}
+		g := BuildFromPositions(pos, bounds, 1+r.Intn(4096))
+
+		// Drift a fraction of the vertices, some far outside the grid
+		// bounds, relocating them the way the lazily updated engine does.
+		for i := range pos {
+			if r.Float64() < 0.3 {
+				old := pos[i]
+				pos[i] = old.Add(geom.V(
+					(r.Float64()*2-1)*0.8,
+					(r.Float64()*2-1)*0.8,
+					(r.Float64()*2-1)*0.8,
+				))
+				g.Relocate(int32(i), old, pos[i])
+			}
+		}
+
+		for probe := 0; probe < 8; probe++ {
+			p := geom.V(r.Float64()*4-2, r.Float64()*4-2, r.Float64()*4-2)
+			k := 1 + r.Intn(n+8)
+			got := g.KNN(p, pos, k, nil)
+			want := refKNN(pos, p, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: result[%d] = %d, want %d", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKNNDegenerateGrids covers flat and single-point inputs, where whole
+// axes collapse (inv == 0) and the ring bound must not prune anything.
+func TestKNNDegenerateGrids(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	// All points on a plane (Z extent 0).
+	pos := make([]geom.Vec3, 50)
+	for i := range pos {
+		pos[i] = geom.V(r.Float64(), r.Float64(), 0.5)
+	}
+	bounds := geom.EmptyBox()
+	for _, p := range pos {
+		bounds = bounds.Extend(p)
+	}
+	g := BuildFromPositions(pos, bounds, 64)
+	p := geom.V(0.5, 0.5, 3)
+	got := g.KNN(p, pos, 7, nil)
+	want := refKNN(pos, p, 7)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flat grid: result[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Single point.
+	one := []geom.Vec3{geom.V(1, 2, 3)}
+	g1 := BuildFromPositions(one, geom.AABB{Min: one[0], Max: one[0]}, 8)
+	if got := g1.KNN(geom.V(9, 9, 9), one, 3, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-point grid: %v", got)
+	}
+
+	// Empty grid.
+	g0 := BuildFromPositions(nil, geom.EmptyBox(), 8)
+	if got := g0.KNN(geom.V(0, 0, 0), nil, 3, nil); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+}

@@ -46,6 +46,13 @@ func (e *LUEngine) Query(q geom.AABB, out []int32) []int32 {
 	return e.g.Query(q, e.m.Positions(), out)
 }
 
+// KNN implements query.KNNEngine via the grid's expanding cell-ring
+// search. The lazily updated cell assignment is exact after Step, so no
+// extra filtering is needed beyond the grid's own distance evaluation.
+func (e *LUEngine) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return e.g.KNN(p, e.m.Positions(), k, out)
+}
+
 // MemoryFootprint implements query.Engine: the grid plus the shadow
 // position array the lazy policy compares against.
 func (e *LUEngine) MemoryFootprint() int64 {

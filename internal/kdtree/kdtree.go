@@ -126,6 +126,40 @@ func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
 	return out
 }
 
+// KNN appends the k points closest to p to out, nearest first (ties by
+// ascending id): the classical best-first kd-tree descent — visit the
+// child on p's side of the splitting plane first, then the far child only
+// if the plane is closer than the current k-th best candidate.
+func (t *Tree) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	if len(t.nodes) > 0 && k > 0 {
+		t.knn(0, p, &b)
+	}
+	return b.AppendSorted(out)
+}
+
+func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
+	n := &t.nodes[idx]
+	if n.leaf {
+		for _, id := range t.ids[n.start : n.start+n.count] {
+			b.Offer(t.pos[id].Dist2(p), id)
+		}
+		return
+	}
+	diff := p.Component(int(n.axis)) - n.split
+	near, far := n.left, n.right
+	if diff >= 0 {
+		near, far = n.right, n.left
+	}
+	t.knn(near, p, b)
+	// The far half-space is at least |diff| away from p; skip it when even
+	// that lower bound cannot beat the current k-th best.
+	if !b.Full() || diff*diff <= b.Bound() {
+		t.knn(far, p, b)
+	}
+}
+
 // MemoryBytes returns the tree's footprint.
 func (t *Tree) MemoryBytes() int64 {
 	const nodeBytes = 8 + 1 + 1 + 4 + 4 + 4 + 4 + 6 // fields + pad
@@ -155,6 +189,10 @@ func (e *Engine) Step() { e.tree = Build(e.m.Positions(), e.bucket) }
 
 // Query implements query.Engine.
 func (e *Engine) Query(q geom.AABB, out []int32) []int32 { return e.tree.Query(q, out) }
+
+// KNN implements query.KNNEngine. Like Query, it reads the tree rebuilt
+// by the latest Step and is stateless at query time.
+func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 { return e.tree.KNN(p, k, out) }
 
 // MemoryFootprint implements query.Engine.
 func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }

@@ -97,3 +97,37 @@ func TestEngineUnderSimulation(t *testing.T) {
 		t.Error("non-positive footprint")
 	}
 }
+
+// TestKNNMatchesBruteForce checks the best-first descent against a full
+// scan on random point clouds, including k beyond the point count and
+// probe points far outside the cloud.
+func TestKNNMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(3000)
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			pos[i] = geom.V(r.Float64(), r.Float64(), r.Float64())
+		}
+		tree := Build(pos, 1+r.Intn(64))
+		for probe := 0; probe < 8; probe++ {
+			p := geom.V(r.Float64()*3-1, r.Float64()*3-1, r.Float64()*3-1)
+			k := 1 + r.Intn(n+8)
+			got := tree.KNN(p, k, nil)
+			var b query.KBest
+			b.Reset(k)
+			for i, q := range pos {
+				b.Offer(q.Dist2(p), int32(i))
+			}
+			want := b.AppendSorted(nil)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: result[%d] = %d, want %d", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

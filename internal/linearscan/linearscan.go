@@ -36,6 +36,18 @@ func (s *Scan) Query(q geom.AABB, out []int32) []int32 {
 	return out
 }
 
+// KNN implements query.KNNEngine: one pass over the position array with a
+// bounded selection heap — Θ(V + k log k), the kNN analog of Equation 4's
+// scan cost, and the yardstick every kNN strategy is compared against.
+func (s *Scan) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	for i, q := range s.m.Positions() {
+		b.Offer(q.Dist2(p), int32(i))
+	}
+	return b.AppendSorted(out)
+}
+
 // MemoryFootprint implements query.Engine; the scan stores nothing.
 func (s *Scan) MemoryFootprint() int64 { return 0 }
 

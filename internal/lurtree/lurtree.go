@@ -75,6 +75,12 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 	return out
 }
 
+// KNN implements query.KNNEngine via the R-tree's pruned descent. Entry
+// boxes are exact point boxes after Step, so the MBR bound is tight.
+func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return e.tree.KNN(p, e.m.Positions(), k, out)
+}
+
 // MemoryFootprint implements query.Engine.
 func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
 

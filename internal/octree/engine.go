@@ -37,6 +37,10 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 	return e.tree.Query(q, out)
 }
 
+// KNN implements query.KNNEngine. Like Query, it reads the tree rebuilt
+// by the latest Step and is stateless at query time.
+func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 { return e.tree.KNN(p, k, out) }
+
 // MemoryFootprint implements query.Engine.
 func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
 

@@ -11,6 +11,7 @@ package octree
 
 import (
 	"octopus/internal/geom"
+	"octopus/internal/query"
 )
 
 // DefaultBucketSize mirrors the paper's bucket strategy ("a node is split
@@ -170,6 +171,58 @@ func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
 		}
 	}
 	return out
+}
+
+// KNN appends the k points closest to p to out, nearest first (ties by
+// ascending id): a distance-ordered descent — at every internal node the
+// up-to-eight children are visited in order of increasing box distance to
+// p, and a child is skipped entirely once its box is farther than the
+// current k-th best candidate.
+func (t *Tree) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	if len(t.nodes) > 0 && k > 0 {
+		t.knn(0, p, &b)
+	}
+	return b.AppendSorted(out)
+}
+
+func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
+	n := &t.nodes[idx]
+	if n.leaf {
+		for _, id := range t.ids[n.start : n.start+n.count] {
+			b.Offer(t.pos[id].Dist2(p), id)
+		}
+		return
+	}
+	// Order the present children by box distance (insertion sort: at most
+	// eight entries). Because the sequence is ascending, the first child
+	// beyond the pruning bound ends the loop, not just its own visit.
+	type childDist struct {
+		d float64
+		c int32
+	}
+	var order [8]childDist
+	cnt := 0
+	for _, c := range n.children {
+		if c < 0 {
+			continue
+		}
+		cd := childDist{d: t.nodes[c].box.Dist2(p), c: c}
+		i := cnt
+		for i > 0 && order[i-1].d > cd.d {
+			order[i] = order[i-1]
+			i--
+		}
+		order[i] = cd
+		cnt++
+	}
+	for i := 0; i < cnt; i++ {
+		if b.Full() && order[i].d > b.Bound() {
+			return
+		}
+		t.knn(order[i].c, p, b)
+	}
 }
 
 // NumNodes returns the number of octree nodes.

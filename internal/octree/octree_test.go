@@ -168,3 +168,42 @@ func BenchmarkQuerySel01(b *testing.B) {
 		out = tree.Query(q, out[:0])
 	}
 }
+
+// refKNN is the full-scan reference for the descent tests.
+func refKNN(pos []geom.Vec3, p geom.Vec3, k int) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	for i, q := range pos {
+		b.Offer(q.Dist2(p), int32(i))
+	}
+	return b.AppendSorted(nil)
+}
+
+// TestKNNMatchesBruteForce checks the distance-ordered child descent
+// against a full scan on random point clouds.
+func TestKNNMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(3000)
+		pos := randomPositions(n, r)
+		bounds := geom.EmptyBox()
+		for _, p := range pos {
+			bounds = bounds.Extend(p)
+		}
+		tree := Build(pos, bounds, 1+r.Intn(128))
+		for probe := 0; probe < 8; probe++ {
+			p := geom.V(r.Float64()*3-1, r.Float64()*3-1, r.Float64()*3-1)
+			k := 1 + r.Intn(n+8)
+			got := tree.KNN(p, k, nil)
+			want := refKNN(pos, p, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: result[%d] = %d, want %d", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

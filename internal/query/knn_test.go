@@ -1,0 +1,131 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"octopus/internal/geom"
+)
+
+// refKNN computes the k nearest of pos to p by full sort — the reference
+// the KBest heap is checked against.
+func refKNN(pos []geom.Vec3, p geom.Vec3, k int) []int32 {
+	type cand struct {
+		d  float64
+		id int32
+	}
+	cands := make([]cand, len(pos))
+	for i, q := range pos {
+		cands[i] = cand{d: q.Dist2(p), id: int32(i)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+func TestKBestMatchesSortReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			// Snapped coordinates make exact distance ties common, so the
+			// id tie-break is exercised, not just defined.
+			pos[i] = geom.V(
+				float64(r.Intn(5)),
+				float64(r.Intn(5)),
+				float64(r.Intn(5)),
+			)
+		}
+		p := geom.V(float64(r.Intn(5)), float64(r.Intn(5)), float64(r.Intn(5)))
+		k := 1 + r.Intn(n+4)
+
+		var b KBest
+		b.Reset(k)
+		for i, q := range pos {
+			b.Offer(q.Dist2(p), int32(i))
+		}
+		got := b.AppendSorted(nil)
+		want := refKNN(pos, p, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d k=%d: result[%d] = %d, want %d\ngot  %v\nwant %v",
+					trial, k, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+func TestKBestBoundAndReuse(t *testing.T) {
+	var b KBest
+	b.Reset(2)
+	if b.Full() || !math.IsInf(b.Bound(), 1) {
+		t.Fatal("empty heap should be unbounded")
+	}
+	b.Offer(4, 1)
+	if b.Full() {
+		t.Fatal("heap of 1/2 reported full")
+	}
+	b.Offer(1, 2)
+	if !b.Full() || b.Bound() != 4 {
+		t.Fatalf("bound = %v, want 4", b.Bound())
+	}
+	b.Offer(9, 3) // worse than the bound: rejected
+	if b.Bound() != 4 {
+		t.Fatalf("bound moved to %v after rejected offer", b.Bound())
+	}
+	b.Offer(2, 4) // evicts the 4
+	if b.Bound() != 2 {
+		t.Fatalf("bound = %v, want 2", b.Bound())
+	}
+	if got := b.AppendSorted(nil); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("drained %v, want [2 4]", got)
+	}
+
+	// Reuse after draining.
+	b.Reset(1)
+	b.Offer(5, 9)
+	if got := b.AppendSorted(nil); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("reuse drained %v", got)
+	}
+
+	// k = 0 accepts nothing.
+	b.Reset(0)
+	b.Offer(1, 1)
+	if b.Len() != 0 || len(b.AppendSorted(nil)) != 0 {
+		t.Fatal("k=0 heap accepted a candidate")
+	}
+}
+
+func TestKBestTieBreakAtBound(t *testing.T) {
+	// Two candidates at the exact bound distance: the smaller id wins.
+	var b KBest
+	b.Reset(1)
+	b.Offer(1, 7)
+	b.Offer(1, 3)
+	if got := b.AppendSorted(nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("tie at bound drained %v, want [3]", got)
+	}
+	b.Reset(1)
+	b.Offer(1, 3)
+	b.Offer(1, 7) // larger id at equal distance must NOT evict
+	if got := b.AppendSorted(nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("tie at bound drained %v, want [3]", got)
+	}
+}

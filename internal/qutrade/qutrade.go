@@ -112,6 +112,14 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 	return out
 }
 
+// KNN implements query.KNNEngine via the R-tree's pruned descent: grace
+// windows over-approximate positions, so candidates are ranked against the
+// mesh's actual state (the windows only loosen the pruning bound, never
+// the result).
+func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return e.tree.KNN(p, e.m.Positions(), k, out)
+}
+
 // MemoryFootprint implements query.Engine.
 func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
 

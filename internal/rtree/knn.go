@@ -1,0 +1,42 @@
+package rtree
+
+import (
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// KNN appends the k entry ids whose actual positions (looked up through
+// pos) are closest to p, nearest first (ties by ascending id): a pruned
+// depth-first descent. A subtree is skipped once its MBR is farther from p
+// than the current k-th best candidate; leaf entries are ranked by their
+// true position, not their stored box, so grace-window entries (QU-Trade)
+// that over-approximate positions still produce exact results — every
+// entry's box contains its position after maintenance, so the MBR bound
+// remains a valid lower bound.
+//
+// Like Search, KNN mutates no tree state (its only scratch is the call
+// stack and the caller-local candidate heap), so concurrent KNN calls are
+// safe as long as no Insert/Delete/UpdateInPlace runs alongside them.
+func (t *Tree) KNN(p geom.Vec3, pos []geom.Vec3, k int, out []int32) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	if k > 0 {
+		t.knn(t.root, p, pos, &b)
+	}
+	return b.AppendSorted(out)
+}
+
+func (t *Tree) knn(n *node, p geom.Vec3, pos []geom.Vec3, b *query.KBest) {
+	if n.leaf {
+		for _, id := range n.ids {
+			b.Offer(pos[id].Dist2(p), id)
+		}
+		return
+	}
+	for i, box := range n.boxes {
+		if b.Full() && box.Dist2(p) > b.Bound() {
+			continue
+		}
+		t.knn(n.children[i], p, pos, b)
+	}
+}

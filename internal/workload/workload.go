@@ -15,6 +15,7 @@ import (
 	"octopus/internal/geom"
 	"octopus/internal/histogram"
 	"octopus/internal/mesh"
+	"octopus/internal/query"
 )
 
 // Generator produces range-query workloads over a fixed mesh snapshot.
@@ -80,6 +81,38 @@ func (g *Generator) UniformQueries(n int, target float64) []geom.AABB {
 	qs := make([]geom.AABB, n)
 	for i := range qs {
 		qs[i] = g.QueryWithSelectivity(target)
+	}
+	return qs
+}
+
+// KNNQueries returns n k-nearest-neighbor probes with k drawn uniformly
+// from [kMin, kMax]. Each probe point is the position of a random mesh
+// vertex displaced by a uniform jitter of up to jitterFrac of the mesh
+// diagonal per axis — the shape of the monitoring scenarios ("the k
+// synapses closest to this probe point"): probes land on or near the
+// structure, not uniformly in its bounding box. jitterFrac <= 0 uses 2%.
+func (g *Generator) KNNQueries(n, kMin, kMax int, jitterFrac float64) []query.KNNQuery {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	if jitterFrac <= 0 {
+		jitterFrac = 0.02
+	}
+	j := jitterFrac * g.diag
+	qs := make([]query.KNNQuery, n)
+	for i := range qs {
+		p := g.m.Position(int32(g.rng.Intn(g.m.NumVertices())))
+		qs[i] = query.KNNQuery{
+			P: p.Add(geom.V(
+				(g.rng.Float64()*2-1)*j,
+				(g.rng.Float64()*2-1)*j,
+				(g.rng.Float64()*2-1)*j,
+			)),
+			K: kMin + g.rng.Intn(kMax-kMin+1),
+		}
 	}
 	return qs
 }

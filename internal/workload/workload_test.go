@@ -137,3 +137,45 @@ func TestClampSelectivity(t *testing.T) {
 		t.Error("clamp broken")
 	}
 }
+
+// TestKNNQueries checks the kNN workload generator's contract: count, k
+// range, and probe placement near the mesh (within the jittered bounds).
+func TestKNNQueries(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(m, 512, 11)
+	jitter := 0.05
+	probes := g.KNNQueries(40, 3, 9, jitter)
+	if len(probes) != 40 {
+		t.Fatalf("got %d probes", len(probes))
+	}
+	allowed := m.Bounds().Grow(jitter * m.Bounds().Size().Len())
+	seenMin, seenMax := 1<<30, 0
+	for i, p := range probes {
+		if p.K < 3 || p.K > 9 {
+			t.Fatalf("probe %d: k = %d outside [3, 9]", i, p.K)
+		}
+		if p.K < seenMin {
+			seenMin = p.K
+		}
+		if p.K > seenMax {
+			seenMax = p.K
+		}
+		if !allowed.Contains(p.P) {
+			t.Fatalf("probe %d at %v strays outside the jittered bounds %v", i, p.P, allowed)
+		}
+	}
+	if seenMin == seenMax {
+		t.Error("k never varied across 40 probes")
+	}
+
+	// Degenerate parameters are clamped, not rejected.
+	one := g.KNNQueries(3, 0, -5, -1)
+	for _, p := range one {
+		if p.K != 1 {
+			t.Fatalf("clamped k = %d, want 1", p.K)
+		}
+	}
+}

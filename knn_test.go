@@ -1,0 +1,131 @@
+package octopus_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"octopus"
+)
+
+// knnEngines returns every public engine as a ParallelKNNEngine over m.
+func knnEngines(m *octopus.Mesh) []octopus.ParallelKNNEngine {
+	return []octopus.ParallelKNNEngine{
+		octopus.New(m),
+		octopus.NewCon(m, 0),
+		octopus.NewHybrid(m, 0, octopus.Calibrate(m)),
+		octopus.NewLinearScan(m),
+		octopus.NewOctree(m, 0),
+		octopus.NewKDTree(m, 0),
+		octopus.NewLURTree(m, 16),
+		octopus.NewQUTrade(m, 16, 0),
+		octopus.NewLUGrid(m, 512),
+	}
+}
+
+// knnProbes returns deterministic probe points near the mesh with k drawn
+// from [1, 24].
+func knnProbes(m *octopus.Mesh, n int, seed int64) []octopus.KNNQuery {
+	r := rand.New(rand.NewSource(seed))
+	diag := m.Bounds().Size().Len()
+	probes := make([]octopus.KNNQuery, n)
+	for i := range probes {
+		p := m.Position(int32(r.Intn(m.NumVertices())))
+		probes[i] = octopus.KNNQuery{
+			P: p.Add(octopus.V(
+				(r.Float64()*2-1)*diag*0.02,
+				(r.Float64()*2-1)*diag*0.02,
+				(r.Float64()*2-1)*diag*0.02,
+			)),
+			K: 1 + r.Intn(24),
+		}
+	}
+	return probes
+}
+
+// TestKNNMatchesBruteForceAllEngines runs every engine's kNN against the
+// brute-force ground truth on a deforming mesh: after each in-place
+// deformation step and the engines' maintenance, every (probe, k) must
+// return exactly the k nearest ids, nearest first.
+func TestKNNMatchesBruteForceAllEngines(t *testing.T) {
+	m := buildBlock(t, 8)
+	engines := knnEngines(m)
+
+	for step := 0; step < 3; step++ {
+		deform(m, step)
+		for _, e := range engines {
+			e.Step()
+		}
+		for pi, probe := range knnProbes(m, 24, int64(step+1)) {
+			want := octopus.BruteForceKNN(m, probe.P, probe.K)
+			for _, e := range engines {
+				got := e.KNN(probe.P, probe.K, nil)
+				if !equalIDs(got, want) {
+					t.Fatalf("step %d, engine %s, probe %d (k=%d): got %v, want %v",
+						step, e.Name(), pi, probe.K, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKNNBatchParallelMatchesSerial asserts that ExecuteKNNBatch returns
+// byte-identical result slices — same ids, same nearest-first order — as
+// serial single-cursor execution at every worker count, for every engine,
+// and that both equal the ground truth. Run with -race, this is the kNN
+// concurrency-contract test for the whole engine family.
+func TestKNNBatchParallelMatchesSerial(t *testing.T) {
+	m := buildBlock(t, 8)
+	engines := knnEngines(m)
+	deform(m, 0)
+	for _, e := range engines {
+		e.Step()
+	}
+
+	probes := knnProbes(m, 48, 9)
+	want := make([][]int32, len(probes))
+	for i, probe := range probes {
+		want[i] = octopus.BruteForceKNN(m, probe.P, probe.K)
+	}
+
+	for _, e := range engines {
+		serial := octopus.ExecuteKNNBatch(e, probes, 1)
+		for i := range serial {
+			if !equalIDs(serial[i], want[i]) {
+				t.Fatalf("%s serial probe %d: got %v, want %v",
+					e.Name(), i, serial[i], want[i])
+			}
+		}
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			parallel := octopus.ExecuteKNNBatch(e, probes, workers)
+			if len(parallel) != len(probes) {
+				t.Fatalf("%s workers=%d: %d result slices, want %d",
+					e.Name(), workers, len(parallel), len(probes))
+			}
+			for i := range parallel {
+				if !equalIDs(parallel[i], serial[i]) {
+					t.Fatalf("%s workers=%d probe %d: parallel result differs from serial",
+						e.Name(), workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKNNBatchEdgeCases covers the degenerate batch inputs.
+func TestKNNBatchEdgeCases(t *testing.T) {
+	m := buildBlock(t, 4)
+	eng := octopus.New(m)
+	if got := octopus.ExecuteKNNBatch(eng, nil, 8); len(got) != 0 {
+		t.Errorf("empty batch: %d results", len(got))
+	}
+	one := []octopus.KNNQuery{{P: octopus.V(0.5, 0.5, 0.5), K: 3}}
+	got := octopus.ExecuteKNNBatch(eng, one, 8) // workers clamped to len(probes)
+	if len(got) != 1 || !equalIDs(got[0], octopus.BruteForceKNN(m, one[0].P, 3)) {
+		t.Errorf("single-probe batch: %v", got)
+	}
+	got = octopus.ExecuteKNNBatch(eng, one, 0) // 0 = GOMAXPROCS
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("workers=0 batch: %v", got)
+	}
+}

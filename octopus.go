@@ -69,6 +69,20 @@ type ParallelEngine = query.ParallelEngine
 // the engine.
 type Cursor = query.Cursor
 
+// KNNQuery is one k-nearest-neighbor probe: the k mesh vertices closest
+// to the probe point P (ties broken by smaller vertex id).
+type KNNQuery = query.KNNQuery
+
+// KNNEngine is implemented by engines that answer k-nearest-neighbor
+// queries; every engine in this package does. Results are nearest first
+// and match BruteForceKNN exactly on well-shaped meshes (see DESIGN.md §8
+// for the crawl engines' connectivity assumption).
+type KNNEngine = query.KNNEngine
+
+// ParallelKNNEngine supports both batched parallel range queries and kNN
+// queries. Every engine constructor in this package returns one.
+type ParallelKNNEngine = query.ParallelKNNEngine
+
 // EngineCursor is the concrete cursor of the OCTOPUS-family engines
 // (Octopus, Con), accepted by their typed QueryWith methods.
 type EngineCursor = core.Cursor
@@ -82,6 +96,15 @@ type EngineCursor = core.Cursor
 // alternation.
 func ExecuteBatch(eng ParallelEngine, queries []AABB, workers int) [][]int32 {
 	return query.ExecuteBatch(eng, queries, workers)
+}
+
+// ExecuteKNNBatch executes kNN probes on eng with a pool of workers (one
+// cursor each) and returns one result slice per probe, nearest first,
+// identical to serial execution. workers <= 0 uses GOMAXPROCS. The same
+// exclusion rule as ExecuteBatch applies: no Step, deformation or
+// restructuring may overlap the batch.
+func ExecuteKNNBatch(eng ParallelKNNEngine, probes []KNNQuery, workers int) [][]int32 {
+	return query.ExecuteKNNBatch(eng, probes, workers)
 }
 
 // Octopus is the paper's general engine (non-convex-safe).
@@ -113,31 +136,31 @@ func NewHybrid(m *Mesh, histCells int, c ModelConstants) *Hybrid {
 }
 
 // Baselines (the paper's competitors plus extended ones), all implementing
-// Engine.
+// Engine and KNNEngine.
 
 // NewLinearScan returns the linear-scan baseline.
-func NewLinearScan(m *Mesh) ParallelEngine { return linearscan.New(m) }
+func NewLinearScan(m *Mesh) ParallelKNNEngine { return linearscan.New(m) }
 
 // NewOctree returns the throwaway bucket-octree baseline, rebuilt from
 // scratch on every Step. bucket <= 0 uses the default.
-func NewOctree(m *Mesh, bucket int) ParallelEngine { return octree.NewEngine(m, bucket) }
+func NewOctree(m *Mesh, bucket int) ParallelKNNEngine { return octree.NewEngine(m, bucket) }
 
 // NewKDTree returns the throwaway kd-tree baseline. bucket <= 0 uses the
 // default.
-func NewKDTree(m *Mesh, bucket int) ParallelEngine { return kdtree.NewEngine(m, bucket) }
+func NewKDTree(m *Mesh, bucket int) ParallelKNNEngine { return kdtree.NewEngine(m, bucket) }
 
 // NewLURTree returns the lazy-update R-tree baseline. fanout <= 0 uses the
 // paper's 110.
-func NewLURTree(m *Mesh, fanout int) ParallelEngine { return lurtree.New(m, fanout) }
+func NewLURTree(m *Mesh, fanout int) ParallelKNNEngine { return lurtree.New(m, fanout) }
 
 // NewQUTrade returns the grace-window R-tree baseline. fanout <= 0 uses
 // the paper's 110; window <= 0 self-tunes.
-func NewQUTrade(m *Mesh, fanout int, window float64) ParallelEngine {
+func NewQUTrade(m *Mesh, fanout int, window float64) ParallelKNNEngine {
 	return qutrade.New(m, fanout, window)
 }
 
 // NewLUGrid returns the lazily updated uniform-grid baseline.
-func NewLUGrid(m *Mesh, targetCells int) ParallelEngine { return grid.NewLUEngine(m, targetCells) }
+func NewLUGrid(m *Mesh, targetCells int) ParallelKNNEngine { return grid.NewLUEngine(m, targetCells) }
 
 // Analytical model (§IV-G).
 
@@ -170,3 +193,8 @@ func BreakEvenSelectivity(S, M float64, c ModelConstants) float64 {
 // BruteForce returns the ground-truth result of q by scanning positions —
 // a testing aid.
 func BruteForce(m *Mesh, q AABB) []int32 { return query.BruteForce(m, q) }
+
+// BruteForceKNN returns the ground-truth k nearest vertices to p by
+// scanning positions, nearest first with ties broken by ascending id — a
+// testing aid and the ordering contract of every KNNEngine.
+func BruteForceKNN(m *Mesh, p Vec3, k int) []int32 { return query.BruteForceKNN(m, p, k) }

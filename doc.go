@@ -37,11 +37,9 @@
 //
 // Every engine separates its immutable index state from per-query scratch
 // (a Cursor), so the monitoring phase's independent queries can run on
-// all cores. The contract: queries through distinct cursors may run
-// concurrently (the mesh is safe for concurrent readers); Step, in-place
-// deformation and restructuring must never overlap queries — parallelism
-// lives inside the monitoring phase, the update/monitor alternation stays
-// serial. ExecuteBatch packages the pattern:
+// all cores: queries through distinct cursors may run concurrently (the
+// mesh is safe for concurrent readers). ExecuteBatch packages the
+// pattern:
 //
 //	eng := octopus.New(m)
 //	for step := 0; step < steps; step++ {
@@ -56,6 +54,37 @@
 // completes, so Stats() totals match serial execution. For hand-rolled
 // pools, ParallelEngine.NewCursor hands out the same per-goroutine
 // cursors directly.
+//
+// # Querying while the mesh deforms
+//
+// Deformation no longer has to stop the world. With position snapshots
+// enabled, the mesh keeps two position buffers and an atomic epoch
+// counter: Mesh.Deform writes the back buffer and publishes it with a
+// single atomic swap, and every cursor pins the head epoch for the
+// duration of each query, so a result set is never torn across a step —
+// it equals brute force evaluated at the pinned epoch, exactly. The
+// precise contract:
+//
+//   - Mesh.Deform may overlap queries freely once EnableSnapshots has
+//     run (Pipeline.Run enables it automatically). In-place mutation of
+//     Positions() remains stop-the-world.
+//   - Index maintenance (Engine.Step, ApplySurfaceDelta, restructuring,
+//     tuning setters) still requires exclusive access: position epochs do
+//     not version engine-owned state. Pipeline serializes maintenance
+//     against queries internally; for the OCTOPUS family Step is a no-op,
+//     so its queries never wait.
+//   - Engines that answer from an internal snapshot (the rebuilt trees,
+//     the lazily updated grid and R-trees) report results exact at their
+//     last maintenance epoch; cursors expose the epoch via LastEpoch and
+//     the pipeline reports staleness = head epoch − answer epoch.
+//
+// Pipeline packages the whole arrangement — a writer goroutine stepping
+// the simulation at a configurable tick, a worker pool draining range and
+// kNN queries, per-query latency and staleness traces:
+//
+//	pl := octopus.NewPipeline(eng, m, deformer.Step, time.Millisecond, 0)
+//	report := pl.Run(queries, probes)
+//	// report.RangeResults[i] is exact at report.RangeTraces[i].Epoch
 //
 // # k-nearest-neighbor queries
 //

@@ -3,16 +3,8 @@ package bench
 import (
 	"time"
 
-	"octopus/internal/core"
-	"octopus/internal/grid"
-	"octopus/internal/kdtree"
-	"octopus/internal/linearscan"
-	"octopus/internal/lurtree"
-	"octopus/internal/mesh"
 	"octopus/internal/meshgen"
-	"octopus/internal/octree"
 	"octopus/internal/query"
-	"octopus/internal/qutrade"
 	"octopus/internal/sim"
 	"octopus/internal/workload"
 )
@@ -41,25 +33,9 @@ func KNN(cfg Config) ([]*Table, error) {
 		},
 	}
 
-	type engineFactory struct {
-		name string
-		make func(m *mesh.Mesh) query.ParallelKNNEngine
-	}
 	// The scan runs first so every later row's speedup can be computed
 	// against it.
-	factories := []engineFactory{
-		{"LinearScan", func(m *mesh.Mesh) query.ParallelKNNEngine { return linearscan.New(m) }},
-		{"OCTOPUS", func(m *mesh.Mesh) query.ParallelKNNEngine { return core.New(m) }},
-		{"OCTOPUS-CON", func(m *mesh.Mesh) query.ParallelKNNEngine { return core.NewCon(m, 0) }},
-		{"OCTOPUS-Hybrid", func(m *mesh.Mesh) query.ParallelKNNEngine {
-			return core.NewHybrid(m, 0, core.Calibrate(m))
-		}},
-		{"KD-Tree", func(m *mesh.Mesh) query.ParallelKNNEngine { return kdtree.NewEngine(m, 0) }},
-		{"OCTREE", func(m *mesh.Mesh) query.ParallelKNNEngine { return octree.NewEngine(m, 0) }},
-		{"LU-Grid", func(m *mesh.Mesh) query.ParallelKNNEngine { return grid.NewLUEngine(m, 4096) }},
-		{"LUR-Tree", func(m *mesh.Mesh) query.ParallelKNNEngine { return lurtree.New(m, 0) }},
-		{"QU-Trade", func(m *mesh.Mesh) query.ParallelKNNEngine { return qutrade.New(m, 0, 0) }},
-	}
+	factories := knnEngineFactories()
 
 	nProbes := cfg.Steps * cfg.QueriesPerStep
 	if nProbes < 32 {

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestLiveExperimentSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	tables, err := Live(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		tab.Render(io.Discard)
+	}
+}

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"ablation-layout", "ablation: vertex layout effect on OCTOPUS (DESIGN.md §7)", AblationLayout},
 		{"hybrid", "extension: model-routed hybrid engine across the break-even (§IV-G)", HybridCrossover},
 		{"knn", "extension: k-nearest-neighbor queries by mesh crawling vs index baselines (DESIGN.md §8)", KNN},
+		{"live", "extension: concurrent deform+query pipeline — latency and staleness vs deformation tick (DESIGN.md §9)", Live},
 		{"parallel", "extension: batched query throughput vs worker count (cursor-parallel execution)", ParallelScaling},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })

@@ -39,6 +39,10 @@ type Con struct {
 	compOf   []int32
 	compReps []int32
 
+	// pinning mirrors Octopus.pinning: pin a position epoch per query
+	// (default) or read the live array under the stop-the-world contract.
+	pinning bool
+
 	resident *Cursor
 
 	statsMu sync.Mutex
@@ -53,8 +57,9 @@ func NewCon(m *mesh.Mesh, gridCells int) *Con {
 		gridCells = DefaultGridCells
 	}
 	c := &Con{
-		m:    m,
-		grid: grid.Build(m, gridCells),
+		m:       m,
+		grid:    grid.Build(m, gridCells),
+		pinning: true,
 	}
 	count, labels := m.ConnectedComponents()
 	c.compOf = labels
@@ -78,6 +83,11 @@ func (c *Con) Name() string { return "OCTOPUS-CON" }
 // deliberately left stale.
 func (c *Con) Step() {}
 
+// SetEpochPinning selects whether queries pin a position epoch for their
+// duration (the default) or read the live array; see
+// Octopus.SetEpochPinning. Not safe concurrently with queries.
+func (c *Con) SetEpochPinning(on bool) { c.pinning = on }
+
 // NewCursor implements query.ParallelEngine.
 func (c *Con) NewCursor() query.Cursor { return newCursor(c, c.m) }
 
@@ -98,6 +108,7 @@ func (c *Con) QueryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	cur.stats.Queries++
 	before := len(out)
+	cur.beginQuery(c.m, c.pinning)
 
 	t0 := time.Now()
 	start, ok := c.grid.NearestPopulated(q.Center())
@@ -133,6 +144,7 @@ func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	cur.stats.DirectedWalk += t2.Sub(t1)
 
 	out = cur.crawl(q, cur.seeds, out)
+	cur.endQuery(c.m)
 	cur.stats.Crawl += time.Since(t2)
 	cur.stats.Results += int64(len(out) - before)
 	return out

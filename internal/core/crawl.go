@@ -15,6 +15,14 @@ type crawler struct {
 	queue   []int32
 	heap    []heapItem // best-first walk frontier
 
+	// pos is the position view of the query in flight, installed by
+	// Cursor.beginQuery: the epoch-pinned snapshot buffer when the engine
+	// pins (the default), or the live array under the legacy
+	// stop-the-world contract. Every graph phase reads positions through
+	// it, never through m.Positions(), so a whole query sees exactly one
+	// epoch.
+	pos []geom.Vec3
+
 	// counters (cumulative across queries)
 	crawlVisited int64 // vertices expanded by the BFS
 	walkVisited  int64 // vertices accessed by directed walks
@@ -36,7 +44,7 @@ func (c *crawler) crawl(q geom.AABB, seeds []int32, out []int32) []int32 {
 			c.queue = append(c.queue, s)
 		}
 	}
-	pos := c.m.Positions()
+	pos := c.pos
 	for head := 0; head < len(c.queue); head++ {
 		v := c.queue[head]
 		out = append(out, v)
@@ -79,7 +87,7 @@ func (c *crawler) greedyWalk(q geom.AABB, start int32) (seed int32, ok bool) {
 }
 
 func (c *crawler) walk(q geom.AABB, start int32, exact bool) (seed int32, ok bool) {
-	pos := c.m.Positions()
+	pos := c.pos
 	cur := start
 	curDist := q.Dist2(pos[cur])
 	c.walkVisited++
@@ -110,7 +118,7 @@ func (c *crawler) walk(q geom.AABB, start int32, exact bool) (seed int32, ok boo
 // closest vertex of the component — the crawl's expansion corrects for an
 // imperfect start.
 func (c *crawler) pointDescent(p geom.Vec3, start int32) int32 {
-	pos := c.m.Positions()
+	pos := c.pos
 	cur := start
 	curDist := pos[cur].Dist2(p)
 	c.walkVisited++
@@ -135,7 +143,7 @@ func (c *crawler) pointDescent(p geom.Vec3, start int32) int32 {
 // connected component is exhausted (query disjoint from this part of the
 // mesh).
 func (c *crawler) bestFirstWalk(q geom.AABB, start int32) (int32, bool) {
-	pos := c.m.Positions()
+	pos := c.pos
 	c.visited.reset()
 	c.heap = c.heap[:0]
 	c.visited.add(start)

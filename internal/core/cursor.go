@@ -35,6 +35,14 @@ type Cursor struct {
 	probeOffset int // rotates the approximate probe's sampling phase
 	stats       Stats
 
+	// epoch/pinHeld track the position snapshot of the query in flight:
+	// beginQuery pins the mesh's head epoch (crawler.pos becomes the
+	// pinned buffer) and endQuery releases it. epoch remains readable
+	// after the query as LastEpoch — the state the last result set was
+	// consistent with.
+	epoch   uint64
+	pinHeld bool
+
 	// kbest is the bounded k-candidate max-heap of the kNN crawl (DESIGN.md
 	// §8): it holds the k closest vertices found so far and its Bound is
 	// the crawl's stop radius. The surface probe and the crawl both feed
@@ -99,6 +107,35 @@ func (c *Cursor) ensureShards(workers int) {
 func newCursor(owner cursorOwner, m *mesh.Mesh) *Cursor {
 	return &Cursor{owner: owner, crawler: newCrawler(m)}
 }
+
+// beginQuery installs the position view for one query and returns it.
+// With pinning on (the engine default), the mesh's head epoch is pinned
+// for the duration of the query so no concurrent Deform can rewrite the
+// buffer mid-read; with pinning off, the live array is used under the
+// legacy stop-the-world contract (the mode the pre-snapshot code ran in,
+// kept for A/B demonstrations of the torn-read race).
+func (c *Cursor) beginQuery(m *mesh.Mesh, pin bool) []geom.Vec3 {
+	if pin {
+		c.epoch, c.pos = m.PinPositions()
+		c.pinHeld = m.SnapshotsEnabled()
+	} else {
+		c.epoch, c.pos = m.Epoch(), m.Positions()
+		c.pinHeld = false
+	}
+	return c.pos
+}
+
+// endQuery releases the pin taken by beginQuery, if any.
+func (c *Cursor) endQuery(m *mesh.Mesh) {
+	if c.pinHeld {
+		m.UnpinPositions(c.epoch)
+		c.pinHeld = false
+	}
+}
+
+// LastEpoch implements query.PinnedCursor: the position epoch the
+// cursor's most recent query executed against.
+func (c *Cursor) LastEpoch() uint64 { return c.epoch }
 
 // probedInKNN reports whether the current kNN query's surface probe
 // already offered v to the candidate heap: v must be a surface vertex

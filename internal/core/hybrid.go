@@ -58,6 +58,12 @@ func (h *Hybrid) Name() string { return "OCTOPUS-Hybrid" }
 // Step implements query.Engine; neither routed engine needs maintenance.
 func (h *Hybrid) Step() {}
 
+// SetEpochPinning selects whether queries pin a position epoch for their
+// duration (the default); it applies to both routed sides — the OCTOPUS
+// engine pins through its cursor, the scan side executes against the same
+// pinned buffer. Not safe concurrently with queries.
+func (h *Hybrid) SetEpochPinning(on bool) { h.oct.SetEpochPinning(on) }
+
 // BreakEven returns the routing threshold (Equation 6).
 func (h *Hybrid) BreakEven() float64 { return h.breakEven }
 
@@ -77,9 +83,15 @@ func (h *Hybrid) route(q geom.AABB) (useScan bool) {
 }
 
 // Query implements query.Engine on the OCTOPUS side's resident cursor.
+// Like the cursor path, scan-routed queries execute against the resident
+// cursor's pinned epoch, so the resident path honors the same snapshot
+// contract as hybridCursor.
 func (h *Hybrid) Query(q geom.AABB, out []int32) []int32 {
 	if h.route(q) {
-		return h.scan.Query(q, out)
+		pos := h.oct.resident.beginQuery(h.oct.m, h.oct.pinning)
+		out = h.scan.QueryAt(pos, q, out)
+		h.oct.resident.endQuery(h.oct.m)
+		return out
 	}
 	return h.oct.Query(q, out)
 }
@@ -96,13 +108,21 @@ func (h *Hybrid) NewCursor() query.Cursor {
 	return &hybridCursor{h: h, oct: newCursor(h.oct, h.oct.m)}
 }
 
-// Query implements query.Cursor.
+// Query implements query.Cursor. Scan-routed queries run against the same
+// epoch-pinned snapshot an OCTOPUS-routed query would use, so a hybrid
+// batch stays consistent no matter how each query is routed.
 func (c *hybridCursor) Query(q geom.AABB, out []int32) []int32 {
 	if c.h.route(q) {
-		return c.h.scan.Query(q, out)
+		pos := c.oct.beginQuery(c.h.oct.m, c.h.oct.pinning)
+		out = c.h.scan.QueryAt(pos, q, out)
+		c.oct.endQuery(c.h.oct.m)
+		return out
 	}
 	return c.h.oct.queryWith(c.oct, q, out)
 }
+
+// LastEpoch implements query.PinnedCursor.
+func (c *hybridCursor) LastEpoch() uint64 { return c.oct.LastEpoch() }
 
 // Close implements query.Cursor.
 func (c *hybridCursor) Close() { c.oct.Close() }

@@ -51,7 +51,7 @@ func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 
 	// probe's rotating stride (the crawl still expands exactly — only the
 	// start quality, and hence the expansion work, degrades).
 	t0 := time.Now()
-	pos := o.m.Positions()
+	pos := cur.beginQuery(o.m, o.pinning)
 	stride := o.probeStride()
 	start := 0
 	if stride > 1 {
@@ -139,6 +139,7 @@ func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 
 		cur.stats.Crawl += time.Since(t2)
 	}
 
+	cur.endQuery(o.m)
 	out = cur.kbest.AppendSorted(out)
 	cur.stats.Results += int64(len(out) - before)
 	return out
@@ -169,6 +170,7 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 	}
 	cur.stats.Queries++
 	before := len(out)
+	cur.beginQuery(c.m, c.pinning)
 
 	t0 := time.Now()
 	gridStart, ok := c.grid.NearestPopulated(p)
@@ -194,6 +196,7 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 		cur.stats.Crawl += time.Since(t2)
 	}
 
+	cur.endQuery(c.m)
 	out = cur.kbest.AppendSorted(out)
 	cur.stats.Results += int64(len(out) - before)
 	return out
@@ -205,7 +208,10 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 // selectivity the scan side's selection heap wins over crawling.
 func (h *Hybrid) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	if h.routeKNN(k) {
-		return h.scan.KNN(p, k, out)
+		pos := h.oct.resident.beginQuery(h.oct.m, h.oct.pinning)
+		out = h.scan.KNNAt(pos, p, k, out)
+		h.oct.resident.endQuery(h.oct.m)
+		return out
 	}
 	return h.oct.KNN(p, k, out)
 }
@@ -222,10 +228,15 @@ func (h *Hybrid) routeKNN(k int) (useScan bool) {
 	return false
 }
 
-// KNN implements query.KNNCursor for the hybrid's cursor.
+// KNN implements query.KNNCursor for the hybrid's cursor. Like range
+// queries, scan-routed probes execute against the cursor's epoch-pinned
+// snapshot.
 func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	if c.h.routeKNN(k) {
-		return c.h.scan.KNN(p, k, out)
+		pos := c.oct.beginQuery(c.h.oct.m, c.h.oct.pinning)
+		out = c.h.scan.KNNAt(pos, p, k, out)
+		c.oct.endQuery(c.h.oct.m)
+		return out
 	}
 	return c.h.oct.knnWith(c.oct, p, k, out)
 }
@@ -242,7 +253,7 @@ func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 // exactly the k-th-best distance keep expanding so id tie-breaks match
 // brute force.
 func (c *Cursor) knnCrawl(p geom.Vec3, starts []int32) {
-	pos := c.m.Positions()
+	pos := c.pos
 	c.visited.reset()
 	c.heap = c.heap[:0]
 	for _, s := range starts {

@@ -25,11 +25,15 @@
 // per-query mutable scratch, which lives in a Cursor. At query time the
 // engine is read-only: queries issued through distinct cursors (one per
 // goroutine, via NewCursor) may run concurrently, as may the legacy
-// single-cursor Query method from a single goroutine. What is NOT safe is
-// running queries concurrently with anything that mutates the index or
-// the mesh: Step, mesh deformation, restructuring, ApplySurfaceDelta,
-// SetApproximation and SetProbeWorkers all require exclusive access, which
-// mirrors the paper's strictly alternating update/monitor phases.
+// single-cursor Query method from a single goroutine. On a
+// snapshot-enabled mesh, queries may also overlap mesh.Mesh.Deform: every
+// cursor pins a position epoch for the duration of each query, so result
+// sets are exact at the pinned epoch, never torn across a deformation
+// step. What is NOT safe is running queries concurrently with anything
+// that mutates the index: Step, restructuring, ApplySurfaceDelta,
+// SetApproximation and SetProbeWorkers require exclusive access (the
+// query.Pipeline serializes them against queries), as does in-place
+// mutation of Positions() on a mesh without snapshots.
 package core
 
 import (
@@ -82,6 +86,13 @@ type Octopus struct {
 	probeWorkers   int
 	shardThreshold int
 
+	// pinning selects how cursors view positions during a query: true (the
+	// default) pins the mesh's head epoch per query, so on a
+	// snapshot-enabled mesh queries may overlap Deform without torn reads;
+	// false restores the pre-snapshot live-array reads and with them the
+	// stop-the-world contract.
+	pinning bool
+
 	// resident is the cursor behind the single-threaded Query method.
 	resident *Cursor
 
@@ -128,6 +139,7 @@ func New(m *mesh.Mesh) *Octopus {
 	o := &Octopus{
 		m:              m,
 		approx:         1,
+		pinning:        true,
 		shardThreshold: ShardedProbeThreshold,
 	}
 	o.resident = newCursor(o, m)
@@ -224,6 +236,14 @@ func (o *Octopus) SetApproximation(frac float64) {
 	o.approx = frac
 }
 
+// SetEpochPinning selects whether queries pin a position epoch for their
+// duration (the default) or read the live array, which requires the
+// legacy stop-the-world alternation of updates and queries. It exists so
+// tests can demonstrate the torn-read race the pinned mode removes; there
+// is no performance reason to turn pinning off (a pin is two atomic adds
+// per query). Not safe concurrently with queries.
+func (o *Octopus) SetEpochPinning(on bool) { o.pinning = on }
+
 // ShardedProbeThreshold is the surface size above which an exact probe is
 // split across probe workers (SetProbeWorkers): below it the probe is
 // already a fraction of the query cost and the fork/join overhead of
@@ -276,7 +296,7 @@ func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	// runs as a second pass only in the rare no-seed case.
 	t0 := time.Now()
 	cur.seeds = cur.seeds[:0]
-	pos := o.m.Positions()
+	pos := cur.beginQuery(o.m, o.pinning)
 	stride := o.probeStride()
 	probed := int64(0)
 	start := 0
@@ -375,6 +395,7 @@ func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 
 	// Phase 3: crawling.
 	out = cur.crawl(q, cur.seeds, out)
+	cur.endQuery(o.m)
 	cur.stats.Crawl += time.Since(t1)
 	cur.stats.Results += int64(len(out) - before)
 	return out

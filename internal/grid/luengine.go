@@ -12,9 +12,15 @@ import (
 // rebuilds, but under the paper's workload almost every vertex moves every
 // step so maintenance still touches the whole dataset.
 type LUEngine struct {
-	m    *mesh.Mesh
-	g    *Grid
-	last []geom.Vec3
+	m *mesh.Mesh
+	g *Grid
+	// last is the shadow position copy taken at the last Step: the lazy
+	// policy diffs against it, and queries evaluate against it, so every
+	// answer is exact at the epoch of the last maintenance (answerEpoch)
+	// even while the mesh deforms concurrently — the index can never be
+	// fresher than its last relocation pass anyway.
+	last        []geom.Vec3
+	answerEpoch uint64
 }
 
 // NewLUEngine builds the grid with approximately targetCells cells over
@@ -26,6 +32,7 @@ func NewLUEngine(m *mesh.Mesh, targetCells int) *LUEngine {
 		last: make([]geom.Vec3, m.NumVertices()),
 	}
 	copy(e.last, m.Positions())
+	e.answerEpoch = m.Epoch()
 	return e
 }
 
@@ -39,18 +46,26 @@ func (e *LUEngine) Step() {
 		e.g.Relocate(int32(i), e.last[i], pos[i])
 		e.last[i] = pos[i]
 	}
+	e.answerEpoch = e.m.Epoch()
 }
 
-// Query implements query.Engine.
+// AnswerEpoch implements query.EpochReporter: queries answer at the state
+// captured by the last Step.
+func (e *LUEngine) AnswerEpoch() uint64 { return e.answerEpoch }
+
+// Query implements query.Engine. Candidates are filtered against the
+// shadow copy, not the live array: the cell assignment is only valid for
+// the positions of the last Step, and mixing it with fresher positions
+// would miss vertices that crossed a cell boundary since.
 func (e *LUEngine) Query(q geom.AABB, out []int32) []int32 {
-	return e.g.Query(q, e.m.Positions(), out)
+	return e.g.Query(q, e.last, out)
 }
 
 // KNN implements query.KNNEngine via the grid's expanding cell-ring
 // search. The lazily updated cell assignment is exact after Step, so no
 // extra filtering is needed beyond the grid's own distance evaluation.
 func (e *LUEngine) KNN(p geom.Vec3, k int, out []int32) []int32 {
-	return e.g.KNN(p, e.m.Positions(), k, out)
+	return e.g.KNN(p, e.last, k, out)
 }
 
 // MemoryFootprint implements query.Engine: the grid plus the shadow
@@ -60,6 +75,6 @@ func (e *LUEngine) MemoryFootprint() int64 {
 }
 
 // NewCursor implements query.ParallelEngine. All mutation happens in
-// Step (cell relocation); Query only reads the grid and the position
-// array, so the engine is stateless at query time.
-func (e *LUEngine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
+// Step (cell relocation); Query only reads the grid and the shadow
+// positions, so the engine is stateless at query time.
+func (e *LUEngine) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: e, Mesh: e.m} }

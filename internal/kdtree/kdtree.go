@@ -172,6 +172,11 @@ type Engine struct {
 	m      *mesh.Mesh
 	bucket int
 	tree   *Tree
+	// snap is the engine-owned position copy the tree is built over
+	// (reused across rebuilds); see the octree engine for why the
+	// throwaway index snapshots instead of aliasing the live array.
+	snap        []geom.Vec3
+	answerEpoch uint64
 }
 
 // NewEngine builds the initial tree. bucket <= 0 uses DefaultBucketSize.
@@ -184,8 +189,17 @@ func NewEngine(m *mesh.Mesh, bucket int) *Engine {
 // Name implements query.Engine.
 func (e *Engine) Name() string { return "KD-Tree" }
 
-// Step implements query.Engine: rebuild from scratch.
-func (e *Engine) Step() { e.tree = Build(e.m.Positions(), e.bucket) }
+// Step implements query.Engine: rebuild from scratch over a fresh
+// position snapshot.
+func (e *Engine) Step() {
+	e.snap = append(e.snap[:0], e.m.Positions()...)
+	e.tree = Build(e.snap, e.bucket)
+	e.answerEpoch = e.m.Epoch()
+}
+
+// AnswerEpoch implements query.EpochReporter: queries answer at the state
+// captured by the last rebuild.
+func (e *Engine) AnswerEpoch() uint64 { return e.answerEpoch }
 
 // Query implements query.Engine.
 func (e *Engine) Query(q geom.AABB, out []int32) []int32 { return e.tree.Query(q, out) }
@@ -194,10 +208,11 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 { return e.tree.Query(q
 // by the latest Step and is stateless at query time.
 func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 { return e.tree.KNN(p, k, out) }
 
-// MemoryFootprint implements query.Engine.
-func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+// MemoryFootprint implements query.Engine: the tree plus the position
+// snapshot it was built over.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() + int64(len(e.snap))*24 }
 
 // NewCursor implements query.ParallelEngine. The tree is rebuilt only in
 // Step; Query is a read-only traversal, so the engine is stateless at
 // query time.
-func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
+func (e *Engine) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: e, Mesh: e.m} }

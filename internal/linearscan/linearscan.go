@@ -28,7 +28,14 @@ func (s *Scan) Step() {}
 
 // Query implements query.Engine.
 func (s *Scan) Query(q geom.AABB, out []int32) []int32 {
-	for i, p := range s.m.Positions() {
+	return s.QueryAt(s.m.Positions(), q, out)
+}
+
+// QueryAt implements query.SnapshotEngine: the scan over an explicit
+// position snapshot, which is how epoch-pinned cursors execute it while
+// the mesh deforms concurrently.
+func (s *Scan) QueryAt(pos []geom.Vec3, q geom.AABB, out []int32) []int32 {
+	for i, p := range pos {
 		if q.Contains(p) {
 			out = append(out, int32(i))
 		}
@@ -40,9 +47,15 @@ func (s *Scan) Query(q geom.AABB, out []int32) []int32 {
 // bounded selection heap — Θ(V + k log k), the kNN analog of Equation 4's
 // scan cost, and the yardstick every kNN strategy is compared against.
 func (s *Scan) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return s.KNNAt(s.m.Positions(), p, k, out)
+}
+
+// KNNAt implements query.SnapshotKNNEngine: KNN over an explicit position
+// snapshot.
+func (s *Scan) KNNAt(pos []geom.Vec3, p geom.Vec3, k int, out []int32) []int32 {
 	var b query.KBest
 	b.Reset(k)
-	for i, q := range s.m.Positions() {
+	for i, q := range pos {
 		b.Offer(q.Dist2(p), int32(i))
 	}
 	return b.AppendSorted(out)
@@ -53,5 +66,5 @@ func (s *Scan) MemoryFootprint() int64 { return 0 }
 
 // NewCursor implements query.ParallelEngine. The scan carries no
 // query-time scratch — Query only reads the position array — so the
-// cursor is the engine itself.
-func (s *Scan) NewCursor() query.Cursor { return query.StatelessCursor{Engine: s} }
+// cursor is the engine plus the epoch-pinning bookkeeping.
+func (s *Scan) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: s, Mesh: s.m} }

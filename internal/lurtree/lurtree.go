@@ -21,6 +21,13 @@ type Engine struct {
 	m    *mesh.Mesh
 	tree *rtree.Tree
 
+	// last is the shadow position copy taken at the last Step. The tree's
+	// point boxes are exact for those positions, so ranking kNN candidates
+	// against the same copy keeps every answer exact at answerEpoch even
+	// while the mesh deforms concurrently.
+	last        []geom.Vec3
+	answerEpoch uint64
+
 	// stats
 	lazyUpdates int64
 	reinserts   int64
@@ -40,7 +47,10 @@ func New(m *mesh.Mesh, fanout int) *Engine {
 		p := m.Position(int32(i))
 		boxes[i] = geom.AABB{Min: p, Max: p}
 	}
-	return &Engine{m: m, tree: rtree.BulkLoad(ids, boxes, fanout)}
+	e := &Engine{m: m, tree: rtree.BulkLoad(ids, boxes, fanout)}
+	e.last = append(e.last, m.Positions()...)
+	e.answerEpoch = m.Epoch()
+	return e
 }
 
 // Name implements query.Engine.
@@ -63,7 +73,13 @@ func (e *Engine) Step() {
 			e.reinserts++
 		}
 	}
+	e.last = append(e.last[:0], pos...)
+	e.answerEpoch = e.m.Epoch()
 }
+
+// AnswerEpoch implements query.EpochReporter: queries answer at the state
+// captured by the last Step.
+func (e *Engine) AnswerEpoch() uint64 { return e.answerEpoch }
 
 // Query implements query.Engine. Entries are exact point boxes, so every
 // intersecting entry is a result.
@@ -78,11 +94,12 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 // KNN implements query.KNNEngine via the R-tree's pruned descent. Entry
 // boxes are exact point boxes after Step, so the MBR bound is tight.
 func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 {
-	return e.tree.KNN(p, e.m.Positions(), k, out)
+	return e.tree.KNN(p, e.last, k, out)
 }
 
-// MemoryFootprint implements query.Engine.
-func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+// MemoryFootprint implements query.Engine: the tree plus the shadow
+// position copy.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() + int64(len(e.last))*24 }
 
 // Tree exposes the underlying R-tree for invariant checks in tests.
 func (e *Engine) Tree() *rtree.Tree { return e.tree }
@@ -97,4 +114,4 @@ func (e *Engine) MaintenanceCounts() (lazy, reinserts int64) {
 // move only in Step; Query is a read-only R-tree traversal (stack-local
 // recursion, no shared scratch), so the engine is stateless at query
 // time.
-func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
+func (e *Engine) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: e, Mesh: e.m} }

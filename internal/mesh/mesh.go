@@ -9,14 +9,18 @@
 //     surface maintenance deltas (§IV-E2), and
 //   - Hilbert-order data reorganization for crawl cache locality (§IV-H1).
 //
-// A Mesh is safe for concurrent readers. Deformation and restructuring must
-// not run concurrently with queries; this mirrors the paper's simulation
-// loop where the mesh is updated, then monitored, in strictly alternating
-// phases.
+// A Mesh is safe for concurrent readers. By default, deformation and
+// restructuring must not run concurrently with queries — the paper's
+// strictly alternating update/monitor loop. EnableSnapshots switches the
+// position store to a double-buffered, epoch-versioned mode (positions.go)
+// in which Deform may overlap readers that pin their epoch via
+// PinPositions; restructuring always requires exclusive access.
 package mesh
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"octopus/internal/geom"
 )
@@ -64,7 +68,18 @@ func (c *Cell) VertexCount() int {
 // place (mesh deformation); connectivity is immutable except through the
 // restructuring operations in restructure.go.
 type Mesh struct {
-	pos []geom.Vec3
+	// Versioned position store (positions.go). pos is the buffer holding
+	// even epochs — and, until EnableSnapshots allocates back, the only
+	// buffer, read and written directly under the legacy stop-the-world
+	// contract. With snapshots enabled the buffer holding the current
+	// state is bufs(epoch&1): Deform writes the other buffer and publishes
+	// with one atomic epoch increment; pins count readers per buffer so a
+	// writer never recycles a buffer still being read.
+	pos      []geom.Vec3
+	back     []geom.Vec3
+	epoch    atomic.Uint64
+	pins     [2]atomic.Int64
+	writerMu sync.Mutex
 
 	// CSR adjacency over vertices: the neighbours of vertex v are
 	// adjList[adjStart[v]:adjStart[v+1]].
@@ -97,18 +112,23 @@ func (m *Mesh) NumCells() int { return m.liveCells }
 // check Cell.Dead. The slice must not be modified.
 func (m *Mesh) Cells() []Cell { return m.cells }
 
-// Position returns the current position of vertex v.
-func (m *Mesh) Position(v int32) geom.Vec3 { return m.pos[v] }
+// Position returns the current position of vertex v (at the current
+// epoch).
+func (m *Mesh) Position(v int32) geom.Vec3 { return m.front()[v] }
 
-// SetPosition moves vertex v in place. This is the paper's "mesh
-// deformation" update: connectivity (and therefore the surface index) is
-// unaffected.
-func (m *Mesh) SetPosition(v int32, p geom.Vec3) { m.pos[v] = p }
+// SetPosition moves vertex v in place in the current front buffer. This is
+// the paper's "mesh deformation" update: connectivity (and therefore the
+// surface index) is unaffected. With snapshots enabled, prefer Deform —
+// in-place writes to the front buffer require the legacy stop-the-world
+// contract.
+func (m *Mesh) SetPosition(v int32, p geom.Vec3) { m.front()[v] = p }
 
-// Positions returns the live position array. Callers may mutate elements to
-// deform the mesh in bulk (the simulation's in-place update) but must not
-// grow or reallocate the slice.
-func (m *Mesh) Positions() []geom.Vec3 { return m.pos }
+// Positions returns the position array holding the current epoch. Callers
+// may mutate elements to deform the mesh in bulk (the simulation's
+// in-place update) under the stop-the-world contract, but must not grow or
+// reallocate the slice. For deformation concurrent with queries, use
+// EnableSnapshots + Deform instead, and read through PinPositions.
+func (m *Mesh) Positions() []geom.Vec3 { return m.front() }
 
 // Neighbors returns the vertex ids adjacent to v (connected by a cell
 // edge). The returned slice aliases internal storage and must not be
@@ -154,7 +174,7 @@ func (m *Mesh) AvgDegree() float64 {
 // computed at most once per time step.
 func (m *Mesh) Bounds() geom.AABB {
 	b := geom.EmptyBox()
-	for _, p := range m.pos {
+	for _, p := range m.front() {
 		b = b.Extend(p)
 	}
 	return b
@@ -165,7 +185,7 @@ func (m *Mesh) Bounds() geom.AABB {
 // footprints separately, matching the paper's accounting where the mesh is
 // given and only auxiliary structures count as overhead.
 func (m *Mesh) MemoryBytes() int64 {
-	bytes := int64(len(m.pos)) * 24
+	bytes := int64(len(m.pos)+len(m.back)) * 24
 	bytes += int64(len(m.adjStart)) * 4
 	bytes += int64(len(m.adjList)) * 4
 	bytes += int64(len(m.cells)) * 34

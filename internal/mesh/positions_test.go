@@ -1,0 +1,123 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"octopus/internal/geom"
+)
+
+// tinyMesh builds a 4-vertex single-tet mesh.
+func tinyMesh(t *testing.T) *Mesh {
+	t.Helper()
+	b := NewBuilder(4, 1)
+	b.AddVertex(geom.V(0, 0, 0))
+	b.AddVertex(geom.V(1, 0, 0))
+	b.AddVertex(geom.V(0, 1, 0))
+	b.AddVertex(geom.V(0, 0, 1))
+	b.AddTet(0, 1, 2, 3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSnapshotsDisabledPassthrough(t *testing.T) {
+	m := tinyMesh(t)
+	if m.SnapshotsEnabled() {
+		t.Fatal("snapshots enabled by default")
+	}
+	e, pos := m.PinPositions()
+	if e != 0 {
+		t.Fatalf("epoch = %d, want 0", e)
+	}
+	if &pos[0] != &m.Positions()[0] {
+		t.Fatal("pin without snapshots must return the live array")
+	}
+	m.UnpinPositions(e)
+	// Deform mutates in place and publishes no epoch.
+	m.Deform(func(p []geom.Vec3) { p[0] = geom.V(9, 9, 9) })
+	if m.Epoch() != 0 {
+		t.Fatalf("epoch advanced to %d without snapshots", m.Epoch())
+	}
+	if m.Position(0) != geom.V(9, 9, 9) {
+		t.Fatal("in-place deform lost")
+	}
+}
+
+func TestSnapshotPublishAndPinnedIsolation(t *testing.T) {
+	m := tinyMesh(t)
+	m.EnableSnapshots()
+	m.EnableSnapshots() // idempotent
+
+	e0, snap0 := m.PinPositions()
+	if e0 != 0 {
+		t.Fatalf("initial epoch = %d", e0)
+	}
+	p0 := snap0[0]
+
+	m.Deform(func(p []geom.Vec3) { p[0] = p[0].Add(geom.V(0.5, 0, 0)) })
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch after deform = %d, want 1", m.Epoch())
+	}
+	// The pinned snapshot must be untouched by the published step.
+	if snap0[0] != p0 {
+		t.Fatal("pinned buffer mutated by Deform")
+	}
+	if m.Position(0) != p0.Add(geom.V(0.5, 0, 0)) {
+		t.Fatal("front buffer missing the published step")
+	}
+
+	// A second Deform needs snap0's buffer back: it must block until the
+	// pin is released.
+	done := make(chan struct{})
+	go func() {
+		m.Deform(func(p []geom.Vec3) { p[0] = p[0].Add(geom.V(0.5, 0, 0)) })
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Deform recycled a pinned buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.UnpinPositions(e0)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Deform did not proceed after unpin")
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", m.Epoch())
+	}
+	if pins := m.snapshotPins(); pins[0] != 0 || pins[1] != 0 {
+		t.Fatalf("leaked pins: %v", pins)
+	}
+}
+
+func TestGrowPositionKeepsBuffersAligned(t *testing.T) {
+	m := tinyMesh(t)
+	m.EnableSnapshots()
+	m.Deform(func(p []geom.Vec3) { p[1] = p[1].Add(geom.V(0, 0.25, 0)) }) // epoch 1
+	if _, _, err := m.SplitCell(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 3 {
+		t.Fatalf("epoch after split = %d, want 3 (1 + 2)", m.Epoch())
+	}
+	if len(m.pos) != len(m.back) {
+		t.Fatalf("buffer lengths diverged: %d vs %d", len(m.pos), len(m.back))
+	}
+	if m.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", m.NumVertices())
+	}
+	// The next Deform must see consistent lengths in both buffers.
+	m.Deform(func(p []geom.Vec3) {
+		if len(p) != 5 {
+			t.Errorf("deform saw %d positions, want 5", len(p))
+		}
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

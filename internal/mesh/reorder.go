@@ -35,8 +35,9 @@ func (m *Mesh) Renumber(perm []int32) (*Mesh, error) {
 	}
 
 	pos := make([]geom.Vec3, n)
+	src := m.front()
 	for old := 0; old < n; old++ {
-		pos[perm[old]] = m.pos[old]
+		pos[perm[old]] = src[old]
 	}
 
 	adjStart := make([]int32, n+1)
@@ -83,8 +84,9 @@ func (m *Mesh) HilbertPerm(order uint) []int32 {
 	n := len(m.pos)
 	mapper := hilbert.NewMapper(order, m.Bounds())
 	keys := make([]uint64, n)
+	pos := m.front()
 	for v := 0; v < n; v++ {
-		keys[v] = mapper.Index(m.pos[v])
+		keys[v] = mapper.Index(pos[v])
 	}
 	return permFromKeys(keys)
 }

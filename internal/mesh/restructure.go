@@ -118,9 +118,9 @@ func (m *Mesh) SplitCell(ci int) (newVertex int32, delta SurfaceDelta, err error
 	}
 
 	a, b, cc, d := c.Verts[0], c.Verts[1], c.Verts[2], c.Verts[3]
-	centroid := m.pos[a].Add(m.pos[b]).Add(m.pos[cc]).Add(m.pos[d]).Scale(0.25)
-	x := int32(len(m.pos))
-	m.pos = append(m.pos, centroid)
+	front := m.front()
+	centroid := front[a].Add(front[b]).Add(front[cc]).Add(front[d]).Scale(0.25)
+	x := m.growPosition(centroid)
 	// Grow adjStart so the CSR lookup for x yields an empty base list; its
 	// real neighbours live in the patch layer.
 	m.adjStart = append(m.adjStart, m.adjStart[len(m.adjStart)-1])
@@ -255,10 +255,11 @@ func (m *Mesh) recomputeNeighbors(v int32) []int32 {
 // Centroid returns the centroid of cell ci at current vertex positions.
 func (m *Mesh) Centroid(ci int) geom.Vec3 {
 	c := &m.cells[ci]
+	pos := m.front()
 	sum := geom.Vec3{}
 	n := c.VertexCount()
 	for k := 0; k < n; k++ {
-		sum = sum.Add(m.pos[c.Verts[k]])
+		sum = sum.Add(pos[c.Verts[k]])
 	}
 	return sum.Scale(1 / float64(n))
 }

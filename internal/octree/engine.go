@@ -14,6 +14,13 @@ type Engine struct {
 	m      *mesh.Mesh
 	bucket int
 	tree   *Tree
+	// snap is the engine-owned position copy the tree is built over
+	// (reused across rebuilds). Building over a copy instead of aliasing
+	// the live array makes every query exact at the rebuild's epoch and
+	// race-free under concurrent deformation — the throwaway index is a
+	// snapshot index either way, now explicitly so.
+	snap        []geom.Vec3
+	answerEpoch uint64
 }
 
 // NewEngine builds the initial tree over m. bucket <= 0 uses
@@ -27,10 +34,21 @@ func NewEngine(m *mesh.Mesh, bucket int) *Engine {
 // Name implements query.Engine.
 func (e *Engine) Name() string { return "OCTREE" }
 
-// Step implements query.Engine: full rebuild from scratch.
+// Step implements query.Engine: full rebuild from scratch over a fresh
+// position snapshot.
 func (e *Engine) Step() {
-	e.tree = Build(e.m.Positions(), e.m.Bounds(), e.bucket)
+	e.snap = append(e.snap[:0], e.m.Positions()...)
+	bounds := geom.EmptyBox()
+	for _, p := range e.snap {
+		bounds = bounds.Extend(p)
+	}
+	e.tree = Build(e.snap, bounds, e.bucket)
+	e.answerEpoch = e.m.Epoch()
 }
+
+// AnswerEpoch implements query.EpochReporter: queries answer at the state
+// captured by the last rebuild.
+func (e *Engine) AnswerEpoch() uint64 { return e.answerEpoch }
 
 // Query implements query.Engine.
 func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
@@ -41,8 +59,9 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 // by the latest Step and is stateless at query time.
 func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 { return e.tree.KNN(p, k, out) }
 
-// MemoryFootprint implements query.Engine.
-func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+// MemoryFootprint implements query.Engine: the tree plus the position
+// snapshot it was built over.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() + int64(len(e.snap))*24 }
 
 // Tree exposes the current tree for inspection in tests and diagnostics.
 func (e *Engine) Tree() *Tree { return e.tree }
@@ -50,4 +69,4 @@ func (e *Engine) Tree() *Tree { return e.tree }
 // NewCursor implements query.ParallelEngine. The tree is rebuilt only in
 // Step; Query is a read-only traversal, so the engine is stateless at
 // query time.
-func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
+func (e *Engine) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: e, Mesh: e.m} }

@@ -44,9 +44,31 @@ type ParallelKNNEngine interface {
 	KNNEngine
 }
 
+// SnapshotKNNEngine is the kNN analog of SnapshotEngine: the engine's kNN
+// path evaluated against an explicit position snapshot.
+type SnapshotKNNEngine interface {
+	// KNNAt is KNN evaluated against pos, which must index the same
+	// vertex ids as the engine's mesh.
+	KNNAt(pos []geom.Vec3, p geom.Vec3, k int, out []int32) []int32
+}
+
 // KNN implements KNNCursor by delegating to the stateless engine (whose
-// KNN method, like its Query method, touches no mutable engine state).
-func (c StatelessCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+// KNN method, like its Query method, touches no mutable engine state),
+// pinning a position epoch when the mesh runs in snapshot mode — the same
+// protocol as StatelessCursor.Query.
+func (c *StatelessCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	if c.Mesh != nil && c.Mesh.SnapshotsEnabled() {
+		if se, ok := c.Engine.(SnapshotKNNEngine); ok {
+			epoch, pos := c.Mesh.PinPositions()
+			c.lastEpoch = epoch
+			out = se.KNNAt(pos, p, k, out)
+			c.Mesh.UnpinPositions(epoch)
+			return out
+		}
+		if er, ok := c.Engine.(EpochReporter); ok {
+			c.lastEpoch = er.AnswerEpoch()
+		}
+	}
 	if ke, ok := c.Engine.(KNNEngine); ok {
 		return ke.KNN(p, k, out)
 	}

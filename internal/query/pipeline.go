@@ -1,0 +1,266 @@
+package query
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Pipeline overlaps mesh deformation with query execution — the live mode
+// the paper's alternating update/monitor loop cannot express. A writer
+// goroutine advances the simulation through Mesh.Deform (double-buffered
+// position publish, one epoch per step) while a pool of query workers
+// drains range and kNN queries through per-goroutine cursors. Each cursor
+// pins a position epoch for the duration of its query, so every result
+// set is internally consistent — exactly equal to brute force at the
+// pinned epoch — no matter how many steps the writer publishes while the
+// query runs.
+//
+// Index maintenance (Engine.Step and the optional Maintain hook) is the
+// one thing that still excludes queries: it mutates engine-owned state
+// the position epochs do not version. The pipeline serializes it against
+// queries with an internal RW lock — for the OCTOPUS family Step is a
+// no-op and queries never wait, while rebuild-per-step baselines stall
+// their queries for the whole rebuild, which is precisely the behavior
+// the live bench measures (latency spikes and epochs-behind staleness).
+type Pipeline struct {
+	// Engine answers the queries; every engine constructor in this
+	// repository returns a suitable ParallelKNNEngine.
+	Engine ParallelKNNEngine
+	// Mesh is the dataset being deformed; Run enables snapshots on it.
+	Mesh *mesh.Mesh
+	// Deform applies one simulation step's in-place update to pos (which
+	// is the back buffer, pre-loaded with the current positions). It runs
+	// on the writer goroutine through Mesh.Deform; sim.Deformer.Step
+	// satisfies it directly.
+	Deform func(step int, pos []geom.Vec3)
+	// Tick is the minimum interval between deformation steps. 0 steps
+	// continuously — the most hostile schedule for the query side.
+	Tick time.Duration
+	// Workers is the query pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// MinSteps keeps the writer running until at least this many steps
+	// have been published, even if the queries drain first — tests use it
+	// to guarantee genuine overlap.
+	MinSteps int
+	// MaxSteps, when > 0, stops the writer after that many steps even if
+	// queries are still in flight (they continue on the frozen mesh).
+	MaxSteps int
+	// Maintain, when non-nil, runs after Engine.Step each writer step,
+	// still under the maintenance write lock (no queries in flight). It
+	// is the hook for rare exclusive work — restructuring a cell and
+	// feeding the SurfaceDelta to the engine — inside a live run.
+	Maintain func(step int)
+}
+
+// QueryTrace is the per-query record of a pipeline run.
+type QueryTrace struct {
+	// Latency is the query's execution time, including any wait for the
+	// maintenance lock (maintenance cost is charged to query response
+	// time, as in the paper's accounting).
+	Latency time.Duration
+	// Epoch is the position epoch the result set is consistent with: the
+	// epoch the cursor pinned, or the engine's last-maintenance epoch for
+	// engines that answer from an internal snapshot.
+	Epoch uint64
+	// HeadEpoch is the mesh's published epoch when the query completed.
+	HeadEpoch uint64
+}
+
+// Staleness returns how many epochs behind the simulation head the
+// query's answer was at completion — 0 means the result reflected the
+// newest published state.
+func (t QueryTrace) Staleness() uint64 {
+	if t.HeadEpoch < t.Epoch {
+		return 0
+	}
+	return t.HeadEpoch - t.Epoch
+}
+
+// PipelineReport is the outcome of one Pipeline.Run.
+type PipelineReport struct {
+	// RangeResults[i] answers the i-th range query; KNNResults[i] answers
+	// the i-th probe, nearest first.
+	RangeResults [][]int32
+	KNNResults   [][]int32
+	// RangeTraces/KNNTraces align with the result slices.
+	RangeTraces []QueryTrace
+	KNNTraces   []QueryTrace
+	// Steps is the number of deformation steps the writer published
+	// during the run; Wall is the end-to-end run time.
+	Steps int
+	Wall  time.Duration
+}
+
+// Traces returns all traces (range then kNN).
+func (r *PipelineReport) Traces() []QueryTrace {
+	out := make([]QueryTrace, 0, len(r.RangeTraces)+len(r.KNNTraces))
+	out = append(out, r.RangeTraces...)
+	out = append(out, r.KNNTraces...)
+	return out
+}
+
+// LatencyStats summarizes trace latencies: mean and the given quantile
+// (e.g. 0.99).
+func LatencyStats(traces []QueryTrace, q float64) (mean, quantile time.Duration) {
+	if len(traces) == 0 {
+		return 0, 0
+	}
+	lats := make([]time.Duration, len(traces))
+	var sum time.Duration
+	for i, t := range traces {
+		lats[i] = t.Latency
+		sum += t.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(math.Ceil(q * float64(len(lats)-1)))
+	return sum / time.Duration(len(lats)), lats[idx]
+}
+
+// StalenessStats summarizes trace staleness: mean and maximum epochs
+// behind head.
+func StalenessStats(traces []QueryTrace) (mean float64, maxS uint64) {
+	if len(traces) == 0 {
+		return 0, 0
+	}
+	var sum uint64
+	for _, t := range traces {
+		s := t.Staleness()
+		sum += s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	return float64(sum) / float64(len(traces)), maxS
+}
+
+// Run executes the pipeline: it enables position snapshots on the mesh,
+// starts the writer, drains all queries through the worker pool, then
+// stops the writer (after MinSteps) and returns the report. Cursor
+// statistics are merged into the engine after the pool drains, like
+// ExecuteBatch. Run is not reentrant — one Run per Pipeline at a time —
+// but the Pipeline may be Run repeatedly; epochs continue from the
+// previous run's head.
+func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
+	p.Mesh.EnableSnapshots()
+	report := &PipelineReport{
+		RangeResults: make([][]int32, len(queries)),
+		KNNResults:   make([][]int32, len(probes)),
+		RangeTraces:  make([]QueryTrace, len(queries)),
+		KNNTraces:    make([]QueryTrace, len(probes)),
+	}
+	start := time.Now()
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(queries) + len(probes); workers > n {
+		workers = n
+	}
+
+	// maintMu serializes index maintenance (Step, Maintain) against
+	// queries. Deformation itself takes no lock: position epochs make it
+	// safe to overlap.
+	var maintMu sync.RWMutex
+	drained := make(chan struct{})
+	writerDone := make(chan struct{})
+	steps := 0
+	go func() {
+		defer close(writerDone)
+		for step := 0; ; step++ {
+			if p.MaxSteps > 0 && step >= p.MaxSteps {
+				return
+			}
+			if step >= p.MinSteps {
+				select {
+				case <-drained:
+					return
+				default:
+				}
+			}
+			p.Mesh.Deform(func(pos []geom.Vec3) { p.Deform(step, pos) })
+			maintMu.Lock()
+			p.Engine.Step()
+			if p.Maintain != nil {
+				p.Maintain(step)
+			}
+			maintMu.Unlock()
+			steps = step + 1
+			if p.Tick > 0 {
+				timer := time.NewTimer(p.Tick)
+				select {
+				case <-drained:
+					timer.Stop()
+					if steps >= p.MinSteps {
+						return
+					}
+				case <-timer.C:
+				}
+			}
+		}
+	}()
+
+	if workers > 0 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		cursors := make([]Cursor, workers)
+		total := len(queries) + len(probes)
+		for w := range cursors {
+			cursors[w] = p.Engine.NewCursor()
+			if _, ok := cursors[w].(KNNCursor); !ok && len(probes) > 0 {
+				panic("query: cursor of " + p.Engine.Name() + " does not implement KNNCursor")
+			}
+			wg.Add(1)
+			go func(cur Cursor) {
+				defer wg.Done()
+				kc, _ := cur.(KNNCursor)
+				pc, _ := cur.(PinnedCursor)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					maintMu.RLock()
+					t0 := time.Now()
+					var res []int32
+					if i < len(queries) {
+						res = cur.Query(queries[i], nil)
+					} else {
+						q := probes[i-len(queries)]
+						res = kc.KNN(q.P, q.K, nil)
+					}
+					trace := QueryTrace{Latency: time.Since(t0)}
+					if pc != nil {
+						trace.Epoch = pc.LastEpoch()
+					}
+					trace.HeadEpoch = p.Mesh.Epoch()
+					maintMu.RUnlock()
+					if i < len(queries) {
+						report.RangeResults[i] = res
+						report.RangeTraces[i] = trace
+					} else {
+						report.KNNResults[i-len(queries)] = res
+						report.KNNTraces[i-len(queries)] = trace
+					}
+				}
+			}(cursors[w])
+		}
+		wg.Wait()
+		for _, cur := range cursors {
+			cur.Close()
+		}
+	}
+	close(drained)
+	<-writerDone
+
+	report.Steps = steps
+	report.Wall = time.Since(start)
+	return report
+}

@@ -19,14 +19,21 @@
 //     for concurrent readers, and so is every engine's index.
 //   - A single cursor — including the resident one behind Engine.Query —
 //     must not be used from two goroutines at once.
-//   - Nothing that mutates the index or the mesh may overlap queries:
-//     Step, in-place deformation, restructuring, ApplySurfaceDelta and
-//     engine tuning setters all require exclusive access. This mirrors
-//     the paper's simulation loop, which alternates update and monitor
-//     phases strictly.
+//   - Mesh deformation through mesh.Mesh.Deform may overlap queries once
+//     the mesh has position snapshots enabled: Deform publishes each step
+//     into the inactive buffer with an atomic epoch swap, and cursors pin
+//     the epoch they execute against, so a query's result set equals
+//     brute force at its pinned epoch — never a torn mix of two steps.
+//     In-place mutation of Positions() remains stop-the-world.
+//   - Index maintenance still requires exclusive access: Engine.Step,
+//     restructuring, ApplySurfaceDelta and engine tuning setters mutate
+//     engine-owned state that position epochs do not version. Pipeline
+//     serializes maintenance against queries internally; outside a
+//     Pipeline the paper's strict update/monitor alternation applies.
 //
-// ExecuteBatch packages the safe pattern: a worker pool, one cursor per
-// worker, statistics merged after the pool drains:
+// ExecuteBatch packages the stop-the-world pattern (a worker pool, one
+// cursor per worker, statistics merged after the pool drains); Pipeline
+// packages the live pattern, overlapping deformation with the pool:
 //
 //	eng := core.New(m)                       // any ParallelEngine
 //	results := query.ExecuteBatch(eng, queries, runtime.GOMAXPROCS(0))
@@ -63,6 +70,45 @@ type Engine interface {
 	// MemoryFootprint returns the current size in bytes of all auxiliary
 	// data structures (the mesh itself is excluded, as in Figure 6(b)).
 	MemoryFootprint() int64
+}
+
+// SnapshotEngine is implemented by engines whose range-query path can
+// execute against an explicit position snapshot instead of the live
+// array. A cursor that pins an epoch (mesh.Mesh.PinPositions) routes
+// queries through QueryAt so the whole query reads one consistent state —
+// the mechanism that lets queries overlap Mesh.Deform in the live
+// pipeline.
+type SnapshotEngine interface {
+	// QueryAt is Query evaluated against pos, which must index the same
+	// vertex ids as the engine's mesh.
+	QueryAt(pos []geom.Vec3, q geom.AABB, out []int32) []int32
+}
+
+// EpochReporter is implemented by engines whose answers are consistent
+// with a maintained internal snapshot of the positions (throwaway trees
+// rebuilt in Step, lazily updated grids and R-trees with shadow position
+// copies) rather than with the live array. Their results are exact at
+// AnswerEpoch — the epoch of the last maintenance — no matter how far the
+// mesh has deformed since, which is precisely the staleness the live
+// bench charges them for.
+type EpochReporter interface {
+	// AnswerEpoch returns the position epoch (mesh.Mesh.Epoch at the last
+	// Build/Step) that Query and KNN results are consistent with. It must
+	// only be read when maintenance cannot run concurrently (the pipeline
+	// serializes Step against queries).
+	AnswerEpoch() uint64
+}
+
+// PinnedCursor is implemented by cursors that can report which position
+// epoch their most recent query executed against: the OCTOPUS-family
+// cursors pin the head epoch per query, stateless cursors report either
+// their pinned epoch or the engine's AnswerEpoch. The pipeline uses it to
+// compute per-query staleness.
+type PinnedCursor interface {
+	// LastEpoch returns the epoch the cursor's most recent Query/KNN was
+	// consistent with (0 before the first query, and always 0 when the
+	// mesh has snapshots disabled).
+	LastEpoch() uint64
 }
 
 // Restructurable is implemented by engines that can incrementally apply

@@ -26,6 +26,15 @@ type Engine struct {
 	tree   *rtree.Tree
 	window float64 // current grace-window half extent
 
+	// last is the shadow position copy taken at the last Step. Grace
+	// windows contain those positions by construction (escapees were just
+	// re-inserted), so filtering candidates against the copy keeps every
+	// answer exact at answerEpoch even while the mesh deforms
+	// concurrently; filtering against the live array would mix a stale
+	// candidate set with fresh positions and silently miss escapees.
+	last        []geom.Vec3
+	answerEpoch uint64
+
 	escapes int64
 	updates int64
 }
@@ -49,6 +58,8 @@ func New(m *mesh.Mesh, fanout int, window float64) *Engine {
 		boxes[i] = geom.BoxAround(m.Position(int32(i)), window)
 	}
 	e.tree = rtree.BulkLoad(ids, boxes, fanout)
+	e.last = append(e.last, m.Positions()...)
+	e.answerEpoch = m.Epoch()
 	return e
 }
 
@@ -97,12 +108,18 @@ func (e *Engine) Step() {
 	} else if rate < TargetEscapeRate/16 {
 		e.window *= 0.95
 	}
+	e.last = append(e.last[:0], pos...)
+	e.answerEpoch = e.m.Epoch()
 }
+
+// AnswerEpoch implements query.EpochReporter: queries answer at the state
+// captured by the last Step.
+func (e *Engine) AnswerEpoch() uint64 { return e.answerEpoch }
 
 // Query implements query.Engine: grace windows over-approximate positions,
 // so candidates are filtered against the mesh's actual state.
 func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
-	pos := e.m.Positions()
+	pos := e.last
 	e.tree.Search(q, func(id int32, _ geom.AABB) bool {
 		if q.Contains(pos[id]) {
 			out = append(out, id)
@@ -117,11 +134,12 @@ func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
 // mesh's actual state (the windows only loosen the pruning bound, never
 // the result).
 func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 {
-	return e.tree.KNN(p, e.m.Positions(), k, out)
+	return e.tree.KNN(p, e.last, k, out)
 }
 
-// MemoryFootprint implements query.Engine.
-func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() }
+// MemoryFootprint implements query.Engine: the tree plus the shadow
+// position copy.
+func (e *Engine) MemoryFootprint() int64 { return e.tree.MemoryBytes() + int64(len(e.last))*24 }
 
 // Tree exposes the underlying R-tree for invariant checks in tests.
 func (e *Engine) Tree() *rtree.Tree { return e.tree }
@@ -132,7 +150,7 @@ func (e *Engine) Window() float64 { return e.window }
 // NewCursor implements query.ParallelEngine. The window and escape
 // counters move only in Step; Query is a read-only R-tree traversal plus
 // a position filter, so the engine is stateless at query time.
-func (e *Engine) NewCursor() query.Cursor { return query.StatelessCursor{Engine: e} }
+func (e *Engine) NewCursor() query.Cursor { return &query.StatelessCursor{Engine: e, Mesh: e.m} }
 
 // EscapeRate returns the cumulative fraction of updates that triggered
 // structural maintenance.

@@ -24,11 +24,16 @@ func New(m *mesh.Mesh, d Deformer) *Simulation {
 }
 
 // Step advances the simulation one time step, updating every vertex
-// position in place, and returns the step index just executed.
+// position, and returns the step index just executed. The update runs
+// through Mesh.Deform: on a plain mesh it mutates positions in place
+// (the legacy stop-the-world loop); on a snapshot-enabled mesh it writes
+// the back buffer and publishes a new epoch, so queries through pinned
+// cursors may run concurrently with the step.
 func (s *Simulation) Step() int {
-	s.Deformer.Step(s.step, s.Mesh.Positions())
+	step := s.step
+	s.Mesh.Deform(func(pos []geom.Vec3) { s.Deformer.Step(step, pos) })
 	s.step++
-	return s.step - 1
+	return step
 }
 
 // StepsDone returns the number of steps executed so far.

@@ -1,0 +1,55 @@
+package octopus
+
+import (
+	"time"
+
+	"octopus/internal/query"
+)
+
+// Live deform+query pipeline: the facade over internal/query's
+// epoch-pinned concurrent execution (DESIGN.md §9).
+//
+// Enable position snapshots on the mesh (Mesh.EnableSnapshots — Pipeline
+// does it automatically), deform through Mesh.Deform instead of mutating
+// Positions() in place, and queries no longer need to stop the world:
+// each one pins the epoch it executes against, so its result set is
+// exactly brute force at that epoch even while deformation steps publish
+// concurrently. Engines expose SetEpochPinning only so tests can
+// demonstrate the torn-read race that pinning removes.
+
+// Pipeline runs a writer goroutine stepping the simulation at a
+// configurable tick while a worker pool drains range and kNN queries,
+// reporting per-query latency and staleness (epochs behind the simulation
+// head at completion).
+type Pipeline = query.Pipeline
+
+// QueryTrace is the per-query record of a pipeline run: latency, the
+// epoch the result is consistent with, and the head epoch at completion.
+type QueryTrace = query.QueryTrace
+
+// PipelineReport is the outcome of one Pipeline.Run.
+type PipelineReport = query.PipelineReport
+
+// NewPipeline assembles a live deform+query pipeline: deform is the
+// per-step in-place update (it receives the back position buffer), tick
+// the minimum interval between steps (0 = continuous), workers the query
+// pool size (<= 0 = GOMAXPROCS). Tune the remaining knobs (MinSteps,
+// MaxSteps, Maintain) on the returned value before Run.
+func NewPipeline(eng ParallelKNNEngine, m *Mesh, deform func(step int, pos []Vec3), tick time.Duration, workers int) *Pipeline {
+	return &Pipeline{Engine: eng, Mesh: m, Deform: deform, Tick: tick, Workers: workers}
+}
+
+// PinnedCursor is implemented by every cursor in this package: LastEpoch
+// reports the position epoch the cursor's most recent query executed
+// against.
+type PinnedCursor = query.PinnedCursor
+
+// LatencyStats summarizes trace latencies (mean and the q-quantile).
+func LatencyStats(traces []QueryTrace, q float64) (mean, quantile time.Duration) {
+	return query.LatencyStats(traces, q)
+}
+
+// StalenessStats summarizes trace staleness (mean and max epochs behind).
+func StalenessStats(traces []QueryTrace) (mean float64, max uint64) {
+	return query.StalenessStats(traces)
+}

@@ -106,6 +106,32 @@
 // pruned descent, scan selection heap), so comparisons stay honest; see
 // DESIGN.md §8.
 //
+// # Sharded execution
+//
+// A mesh larger than one engine's rebuild budget can be cut into K
+// spatially coherent shards along the Hilbert order, each served by its
+// own engine instance, with queries routed across them:
+//
+//	eng, _ := octopus.NewShardedEngine(m, 4, func(sub *octopus.Mesh) octopus.ParallelKNNEngine {
+//	    return octopus.New(sub)
+//	})
+//	ids := eng.Query(box, nil)       // fans out to box-intersecting shards
+//	nn := eng.KNN(p, 10, nil)        // best-first over shards, pruned by the k-th distance
+//
+// Each shard's sub-mesh carries a one-cell ghost ring, so the cut faces
+// are ordinary sub-mesh surface and crawls terminate there; the router
+// drops ghost hits (the neighbor shard owns them) and remaps local ids
+// back to global ones. Results are bit-identical to the unsharded
+// engine's — the equivalence suite asserts it for every engine,
+// K ∈ {1, 2, 4, 8}, range and kNN, static and deforming. The returned
+// router is a drop-in ParallelKNNEngine; handing its Mesh() to
+// NewPipeline runs the live pipeline over the whole partition with
+// lockstep epochs and per-shard maintenance (one shard's rebuild stalls
+// only the queries that fan out to it). Restructuring the global mesh
+// after partitioning is not supported (the sharded mesh panics rather
+// than silently dropping the new vertices — rebuild the partition).
+// See DESIGN.md §10.
+//
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the
 // analytical cost model of §IV-G, and the synthetic dataset generators

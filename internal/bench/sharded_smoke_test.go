@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"octopus/internal/meshgen"
+)
+
+// TestShardExperimentSmoke ("Shard", not "Sharded": the CI race job's
+// -run regex matches 'Sharded' and must not drag this full benchmark
+// sweep under the race detector) runs the sharded experiment end to end: the
+// acceptance check that the experiment is registered and runnable, and
+// that per-shard maintenance does not regress staleness for the sharded
+// mode. In -short mode the sweep is trimmed to one dataset, two engines
+// and one shard count so it stays within the CI test budget; the full
+// 9-engine × {1,2,4,8} sweep runs in the non-short suite.
+func TestShardExperimentSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	var (
+		tables []*Table
+		err    error
+	)
+	if testing.Short() {
+		factories := knnEngineFactories()[:2] // scan + OCTOPUS
+		tables, err = shardedTables(cfg,
+			[]meshgen.Dataset{meshgen.DSHorse}, factories, []int{2})
+	} else {
+		tables, err = Sharded(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", tab.ID)
+		}
+		tab.Render(io.Discard)
+	}
+
+	// The staleness acceptance bound: sharded K=4 must not be
+	// meaningfully worse than single-mesh for the zero-maintenance
+	// OCTOPUS engine, which answers at the pinned epoch in both modes.
+	live := tables[1]
+	stale := map[string]float64{}
+	for ri := range live.Rows {
+		engine, mode := live.Cell(ri, 0), live.Cell(ri, 1)
+		if engine != "OCTOPUS" {
+			continue
+		}
+		v, err := strconv.ParseFloat(live.Cell(ri, 5), 64)
+		if err != nil {
+			t.Fatalf("parse stale-mean %q: %v", live.Cell(ri, 5), err)
+		}
+		stale[mode] = v
+	}
+	if len(stale) != 2 {
+		t.Fatalf("expected single and K=4 OCTOPUS rows, got %v", stale)
+	}
+	if stale["K=4"] > stale["single"]+1.0 {
+		t.Fatalf("sharded staleness %.3f regressed vs single-mesh %.3f", stale["K=4"], stale["single"])
+	}
+}

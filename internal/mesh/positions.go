@@ -115,6 +115,22 @@ func (m *Mesh) UnpinPositions(epoch uint64) {
 // With snapshots disabled, fn mutates the single live buffer in place and
 // the legacy contract applies: nothing may read positions concurrently.
 func (m *Mesh) Deform(fn func(pos []geom.Vec3)) {
+	m.publish(fn, true)
+}
+
+// DeformOverwrite is Deform for full-overwrite updates: fn must write
+// every element of pos, and in exchange the back buffer is not
+// pre-loaded with the current state — skipping one O(V) copy per step.
+// The shard container's per-step scatter (which rewrites every local
+// position from the global array) is the intended user; incremental
+// deformers need plain Deform.
+func (m *Mesh) DeformOverwrite(fn func(pos []geom.Vec3)) {
+	m.publish(fn, false)
+}
+
+// publish runs one deformation step: wait out the target buffer's pins,
+// optionally pre-load it with the current state, apply fn, publish.
+func (m *Mesh) publish(fn func(pos []geom.Vec3), preload bool) {
 	if m.back == nil {
 		fn(m.pos)
 		return
@@ -126,7 +142,9 @@ func (m *Mesh) Deform(fn func(pos []geom.Vec3)) {
 	for m.pins[(e+1)&1].Load() != 0 {
 		runtime.Gosched()
 	}
-	copy(target, m.buf(e))
+	if preload {
+		copy(target, m.buf(e))
+	}
 	fn(target)
 	m.epoch.Store(e + 1) // the single publishing store
 }

@@ -1,0 +1,131 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// TestKBestEdgeCaseTable is the table of boundary behaviors the
+// cross-shard router's global-bound pruning leans on: k = 0 (and
+// negative), k larger than the candidate population, duplicate
+// distances sitting exactly at the bound, and an empty candidate
+// stream. Each case lists the offers in arrival order and the exact
+// drained result.
+func TestKBestEdgeCaseTable(t *testing.T) {
+	type offer struct {
+		d  float64
+		id int32
+	}
+	cases := []struct {
+		name   string
+		k      int
+		offers []offer
+		want   []int32
+		// wantBound is the bound after all offers (math.Inf(1) when the
+		// heap never fills — the "keep scanning shards" signal).
+		wantBound float64
+	}{
+		{
+			name: "k0-accepts-nothing", k: 0,
+			offers:    []offer{{1, 1}, {0, 2}},
+			want:      []int32{},
+			wantBound: math.Inf(1),
+		},
+		{
+			name: "negative-k-behaves-as-k0", k: -3,
+			offers:    []offer{{1, 1}},
+			want:      []int32{},
+			wantBound: math.Inf(1),
+		},
+		{
+			name: "k-exceeds-population", k: 10,
+			offers:    []offer{{4, 4}, {1, 1}, {9, 9}},
+			want:      []int32{1, 4, 9},
+			wantBound: math.Inf(1), // never full: no shard may be pruned
+		},
+		{
+			name: "empty-stream", k: 3,
+			offers:    nil,
+			want:      []int32{},
+			wantBound: math.Inf(1),
+		},
+		{
+			name: "duplicate-distances-at-bound-smaller-id-kept", k: 2,
+			offers:    []offer{{5, 8}, {5, 3}, {5, 6}},
+			want:      []int32{3, 6},
+			wantBound: 5,
+		},
+		{
+			name: "duplicate-distances-at-bound-arrival-order-irrelevant", k: 2,
+			offers:    []offer{{5, 3}, {5, 6}, {5, 8}, {5, 2}},
+			want:      []int32{2, 3},
+			wantBound: 5,
+		},
+		{
+			name: "all-candidates-equidistant-k-equals-population", k: 4,
+			offers:    []offer{{2, 3}, {2, 1}, {2, 4}, {2, 2}},
+			want:      []int32{1, 2, 3, 4},
+			wantBound: 2,
+		},
+		{
+			name: "bound-tightens-monotonically", k: 1,
+			offers:    []offer{{9, 9}, {4, 4}, {7, 7}, {1, 1}},
+			want:      []int32{1},
+			wantBound: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b KBest
+			b.Reset(tc.k)
+			for _, o := range tc.offers {
+				b.Offer(o.d, o.id)
+			}
+			if got := b.Bound(); got != tc.wantBound {
+				t.Fatalf("bound = %v, want %v", got, tc.wantBound)
+			}
+			got := b.AppendSorted(nil)
+			if len(got) != len(tc.want) {
+				t.Fatalf("drained %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("drained %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestBruteForceKNNEdgeCases pins the ground-truth helper on the same
+// boundaries: empty mesh, k = 0, and k > V.
+func TestBruteForceKNNEdgeCases(t *testing.T) {
+	empty, err := mesh.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BruteForceKNN(empty, geom.V(0, 0, 0), 5); len(got) != 0 {
+		t.Fatalf("empty mesh 5-NN = %v", got)
+	}
+
+	b := mesh.NewBuilder(4, 1)
+	v0 := b.AddVertex(geom.V(0, 0, 0))
+	v1 := b.AddVertex(geom.V(1, 0, 0))
+	v2 := b.AddVertex(geom.V(0, 1, 0))
+	v3 := b.AddVertex(geom.V(0, 0, 1))
+	b.AddTet(v0, v1, v2, v3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BruteForceKNN(m, geom.V(0, 0, 0), 0); len(got) != 0 {
+		t.Fatalf("k=0 = %v", got)
+	}
+	got := BruteForceKNN(m, geom.V(0.1, 0, 0), 100)
+	if len(got) != 4 || got[0] != 0 {
+		t.Fatalf("k>V = %v, want all 4 nearest-first", got)
+	}
+}

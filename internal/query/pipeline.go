@@ -9,8 +9,35 @@ import (
 	"time"
 
 	"octopus/internal/geom"
-	"octopus/internal/mesh"
 )
+
+// DeformableMesh is the dataset surface the pipeline's writer needs: a
+// position store that can switch to epoch-versioned snapshots, apply one
+// whole-mesh update per step, and report the published epoch. *mesh.Mesh
+// implements it directly; shard.Mesh implements it over a whole
+// partition, publishing every shard in lockstep.
+type DeformableMesh interface {
+	// EnableSnapshots switches to the double-buffered position store so
+	// Deform may overlap pinned readers. Idempotent; requires quiescence.
+	EnableSnapshots()
+	// Deform applies one step: fn mutates pos (pre-loaded with the
+	// current state) in place, and the new state is published atomically.
+	Deform(fn func(pos []geom.Vec3))
+	// Epoch returns the number of published deformation steps.
+	Epoch() uint64
+}
+
+// MaintenanceSerializer is implemented by engines that serialize their
+// own index maintenance against their own queries at a finer grain than
+// the pipeline's global RW lock — the shard router locks per shard. When
+// SerializesMaintenance reports true, Pipeline.Run calls Engine.Step
+// without the global lock and its query workers skip the read side, so
+// maintenance of one shard overlaps queries to the others. The optional
+// Maintain hook still takes the global lock: it mutates state the engine
+// does not guard.
+type MaintenanceSerializer interface {
+	SerializesMaintenance() bool
+}
 
 // Pipeline overlaps mesh deformation with query execution — the live mode
 // the paper's alternating update/monitor loop cannot express. A writer
@@ -29,12 +56,18 @@ import (
 // no-op and queries never wait, while rebuild-per-step baselines stall
 // their queries for the whole rebuild, which is precisely the behavior
 // the live bench measures (latency spikes and epochs-behind staleness).
+// Engines that serialize their own maintenance at a finer grain
+// (MaintenanceSerializer — the shard router's per-shard locks) opt out of
+// the global lock, so one shard's rebuild stalls only the queries that
+// fan out to it.
 type Pipeline struct {
 	// Engine answers the queries; every engine constructor in this
 	// repository returns a suitable ParallelKNNEngine.
 	Engine ParallelKNNEngine
 	// Mesh is the dataset being deformed; Run enables snapshots on it.
-	Mesh *mesh.Mesh
+	// *mesh.Mesh is the single-mesh case; shard.Mesh drives a whole
+	// partition in lockstep.
+	Mesh DeformableMesh
 	// Deform applies one simulation step's in-place update to pos (which
 	// is the back buffer, pre-loaded with the current positions). It runs
 	// on the writer goroutine through Mesh.Deform; sim.Deformer.Step
@@ -167,8 +200,14 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 
 	// maintMu serializes index maintenance (Step, Maintain) against
 	// queries. Deformation itself takes no lock: position epochs make it
-	// safe to overlap.
+	// safe to overlap. Engines that serialize their own maintenance
+	// (MaintenanceSerializer) skip the global lock for Step — unless the
+	// Maintain hook is set, which only the global lock guards.
 	var maintMu sync.RWMutex
+	globalLock := true
+	if ms, ok := p.Engine.(MaintenanceSerializer); ok && ms.SerializesMaintenance() && p.Maintain == nil {
+		globalLock = false
+	}
 	drained := make(chan struct{})
 	writerDone := make(chan struct{})
 	steps := 0
@@ -186,12 +225,16 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 				}
 			}
 			p.Mesh.Deform(func(pos []geom.Vec3) { p.Deform(step, pos) })
-			maintMu.Lock()
+			if globalLock {
+				maintMu.Lock()
+			}
 			p.Engine.Step()
 			if p.Maintain != nil {
 				p.Maintain(step)
 			}
-			maintMu.Unlock()
+			if globalLock {
+				maintMu.Unlock()
+			}
 			steps = step + 1
 			if p.Tick > 0 {
 				timer := time.NewTimer(p.Tick)
@@ -227,7 +270,9 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					if i >= total {
 						return
 					}
-					maintMu.RLock()
+					if globalLock {
+						maintMu.RLock()
+					}
 					t0 := time.Now()
 					var res []int32
 					if i < len(queries) {
@@ -241,7 +286,9 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 						trace.Epoch = pc.LastEpoch()
 					}
 					trace.HeadEpoch = p.Mesh.Epoch()
-					maintMu.RUnlock()
+					if globalLock {
+						maintMu.RUnlock()
+					}
 					if i < len(queries) {
 						report.RangeResults[i] = res
 						report.RangeTraces[i] = trace

@@ -30,6 +30,9 @@
 //     engine-owned state that position epochs do not version. Pipeline
 //     serializes maintenance against queries internally; outside a
 //     Pipeline the paper's strict update/monitor alternation applies.
+//     Engines that serialize their own maintenance at a finer grain
+//     (MaintenanceSerializer — the shard router's per-shard locks) are
+//     exempt from the pipeline's global lock.
 //
 // ExecuteBatch packages the stop-the-world pattern (a worker pool, one
 // cursor per worker, statistics merged after the pool drains); Pipeline

@@ -1,0 +1,82 @@
+package shard
+
+// FuzzPartition exercises the partitioner on random geometry: partial
+// Kuhn grids (non-convex, hole-ridden, often disconnected) under random
+// deformation, cut into an arbitrary number of shards. Every input must
+// yield an exact partition — vertex coverage, round-tripping remaps,
+// box containment, ghost closure and cut-edge symmetry (all folded into
+// Partition.Validate) — and a router over it must answer spot-check
+// range and kNN queries exactly against brute force. CI runs a short
+// -fuzz smoke; the committed corpus under testdata/fuzz seeds the
+// interesting regimes (K=1, K=V, sparse disconnected grids, dense
+// grids, degenerate single-cube meshes).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/linearscan"
+	"octopus/internal/mesh"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+func FuzzPartition(f *testing.F) {
+	f.Add(int64(1), uint64(2), 0.8)
+	f.Add(int64(9), uint64(1), 0.3)
+	f.Add(int64(-3), uint64(8), 0.55)
+	f.Add(int64(42), uint64(5), 1.0)
+	f.Add(int64(7), uint64(1000), 0.25) // K clamps to V
+	f.Add(int64(0), uint64(3), 0.0)     // degenerate single-cube mesh
+
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint64, keep float64) {
+		if math.IsNaN(keep) {
+			keep = 0.5
+		}
+		keep = math.Abs(keep)
+		keep -= math.Floor(keep) // into [0,1)
+		r := rand.New(rand.NewSource(seed))
+		m := buildPartialGrid(t, 3+int(uint64(seed)%3), keep, r)
+		d := &sim.NoiseDeformer{Amplitude: 0.06, Frequency: 1.7, Seed: seed}
+		for step := 0; step < int(uint64(seed)%3); step++ {
+			d.Step(step, m.Positions())
+		}
+
+		k := int(kRaw%16) + 1
+		part, err := NewPartition(m, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := part.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+
+		// Routing oracle: the scan is exact on any geometry, so a sharded
+		// scan must be exactly brute force.
+		sm := &Mesh{global: m, part: part}
+		router := NewRouter(sm, func(sub *mesh.Mesh) query.ParallelKNNEngine { return linearscan.New(sub) })
+		bounds := m.Bounds()
+		diag := bounds.Size().Len()
+		boxes := []geom.AABB{
+			bounds,
+			geom.BoxAround(m.Position(int32(uint64(seed)%uint64(m.NumVertices()))), 0.2*diag),
+			geom.BoxAround(bounds.Center(), 0.4*diag),
+			geom.BoxAround(bounds.Max.Add(geom.V(diag, diag, diag)), 1),
+		}
+		for bi, q := range boxes {
+			if d := query.Diff(router.Query(q, nil), query.BruteForce(m, q)); d != "" {
+				t.Fatalf("box %d: %s", bi, d)
+			}
+		}
+		probe := bounds.Center()
+		for _, kq := range []int{1, 4, m.NumVertices() + 1} {
+			got := router.KNN(probe, kq, nil)
+			want := query.BruteForceKNN(m, probe, kq)
+			if !equalIDs(got, want) {
+				t.Fatalf("kNN k=%d: got %v want %v", kq, got, want)
+			}
+		}
+	})
+}

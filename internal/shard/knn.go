@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"sort"
+
+	"octopus/internal/geom"
+)
+
+// KNN implements query.KNNCursor: best-first over shards by owned-box
+// distance, maintaining the global k best in a query.KBest whose bound
+// prunes shards (and, within a shard, widening rounds) that cannot
+// contribute. The result is nearest first with ties broken by ascending
+// global id — bit-identical to query.BruteForceKNN whenever every shard
+// engine is exact on its sub-mesh.
+func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	r := c.r
+	r.sm.deformMu.RLock()
+	defer r.sm.deformMu.RUnlock()
+
+	c.epoch = r.sm.Epoch()
+	r.knnQueries.Add(1)
+	if k <= 0 || len(r.engines) == 0 {
+		return out
+	}
+
+	// Order shards by distance from the probe to their owned-vertex box:
+	// the shard containing (or nearest to) p is scanned first, so the
+	// bound tightens as early as possible.
+	c.order = c.order[:0]
+	for s, part := range r.sm.part.Parts {
+		c.order = append(c.order, shardDist{s: s, d2: part.box.Dist2(p)})
+	}
+	sort.Slice(c.order, func(i, j int) bool {
+		if c.order[i].d2 != c.order[j].d2 {
+			return c.order[i].d2 < c.order[j].d2
+		}
+		return c.order[i].s < c.order[j].s
+	})
+
+	c.kb.Reset(k)
+	for _, sd := range c.order {
+		// Prune strictly: a shard at exactly the bound distance can still
+		// hold an equal-distance vertex with a smaller global id, which
+		// the (dist, id) ordering ranks ahead of the current k-th.
+		if c.kb.Full() && sd.d2 > c.kb.Bound() {
+			break
+		}
+		r.knnScanned.Add(1)
+		r.maint[sd.s].RLock()
+		c.scanShard(sd.s, p, k)
+		r.maint[sd.s].RUnlock()
+	}
+	return c.kb.AppendSorted(out)
+}
+
+// scanShard folds shard s's owned candidates into the global heap. The
+// inner engine ranks the whole sub-mesh — ghosts included — so the top-k
+// may be crowded by ghost hits that belong to a neighbor shard; the
+// widening loop re-queries with a larger k' until the shard's owned
+// contribution is provably complete:
+//
+//   - the sub-mesh (or its owned population) is exhausted, or
+//   - every unreturned candidate ranks strictly beyond the global bound
+//     (it is at least as far as the worst vertex returned), or
+//   - want = min(k, owned) owned candidates were seen and the want-th of
+//     them is strictly closer than the scan horizon (the worst vertex
+//     returned): any unreturned owned vertex then has at least horizon
+//     distance, so it is dominated within this shard by want strictly
+//     better candidates and can never enter the global top-k. Strictness
+//     matters: at exactly the horizon distance, an unreturned owned
+//     vertex with a smaller global id could still displace a returned
+//     one under the (dist, id) order.
+//
+// The initial request asks for one extra candidate (k+1) so that on a
+// ghost-free, tie-free shard the horizon separates immediately and no
+// widening round is needed.
+func (c *Cursor) scanShard(s int, p geom.Vec3, k int) {
+	part := c.r.sm.part.Parts[s]
+	pos := part.Mesh.Positions()
+
+	// A stale shard engine (snapshot behind the published head) ranks
+	// candidates in a different metric than the head positions the
+	// router merges with, which would invalidate the completeness
+	// argument below. Offer every owned vertex directly instead — exact
+	// at the head, and only possible in the short publish-to-Step window
+	// of the live pipeline.
+	if c.r.shardStale(s) {
+		for l, own := range part.Owned {
+			if own {
+				c.kb.Offer(pos[l].Dist2(p), part.ToGlobal[l])
+			}
+		}
+		return
+	}
+
+	subV := part.Mesh.NumVertices()
+	want := k
+	if part.NumOwned < want {
+		want = part.NumOwned
+	}
+
+	kq := k + 1
+	if kq > subV {
+		kq = subV
+	}
+	rounds := 0
+	for {
+		c.scratch = c.knn[s].KNN(p, kq, c.scratch[:0])
+		owned := 0
+		dWant := 0.0
+		for _, l := range c.scratch {
+			if part.Owned[l] {
+				owned++
+				if owned == want {
+					dWant = pos[l].Dist2(p)
+				}
+			}
+		}
+		exhausted := len(c.scratch) >= subV || owned >= part.NumOwned
+		horizon := 0.0
+		if len(c.scratch) > 0 {
+			horizon = pos[c.scratch[len(c.scratch)-1]].Dist2(p)
+		}
+		complete := exhausted ||
+			(c.kb.Full() && horizon > c.kb.Bound()) ||
+			(owned >= want && dWant < horizon)
+		if complete {
+			for _, l := range c.scratch {
+				if part.Owned[l] {
+					c.kb.Offer(pos[l].Dist2(p), part.ToGlobal[l])
+				}
+			}
+			if rounds > 0 {
+				c.r.knnWidenings.Add(int64(rounds))
+			}
+			return
+		}
+		kq = kq*2 + 8
+		if kq > subV {
+			kq = subV
+		}
+		rounds++
+	}
+}

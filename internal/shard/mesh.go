@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// Mesh is the sharded counterpart of mesh.Mesh: the global source mesh
+// plus its K-way Hilbert partition. It implements query.DeformableMesh, so
+// a query.Pipeline can drive a sharded engine exactly like a single-mesh
+// one: Deform applies each simulation step to the global positions and
+// republishes every shard's sub-mesh (one epoch per global step, all
+// shards in lockstep).
+//
+// Cross-shard snapshot coherence: a multi-shard query must not observe
+// shard A at step e and shard B at step e+1 — that would be the torn read
+// the position epochs eliminated, reintroduced at shard granularity.
+// Deform therefore takes the write side of an RW gate that every router
+// query holds for reading: deformation still overlaps queries on the
+// single-mesh path's terms (queries never block each other, a step waits
+// only for the queries already in flight), and every query fans out over
+// one consistent global step. Index maintenance is NOT under this gate —
+// Router.Step serializes per shard, which is the point of sharding: one
+// shard's rebuild blocks only the queries that need that shard.
+type Mesh struct {
+	global *mesh.Mesh
+	part   *Partition
+
+	// deformMu is the cross-shard coherence gate: Deform writes, router
+	// queries read.
+	deformMu sync.RWMutex
+
+	// epoch counts published global deformation steps; after each step
+	// every shard sub-mesh is at this epoch.
+	epoch     atomic.Uint64
+	snapshots bool
+}
+
+// NewMesh partitions m into k Hilbert shards and returns the sharded
+// container. The global mesh remains the deformation source of truth; its
+// positions may keep being driven by a sim.Simulation in stop-the-world
+// mode, or through Mesh.Deform in live mode.
+//
+// The partition snapshots the global mesh's connectivity: restructuring
+// the global mesh afterwards (SplitCell, DeleteCell) is not supported —
+// the remap tables would go stale and new vertices would silently never
+// reach any shard, so Deform and Resync panic if the vertex count has
+// changed. Partition first, restructure per shard (if at all) later.
+func NewMesh(m *mesh.Mesh, k int, opts Options) (*Mesh, error) {
+	part, err := NewPartition(m, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Mesh{global: m, part: part}, nil
+}
+
+// Global returns the global source mesh.
+func (sm *Mesh) Global() *mesh.Mesh { return sm.global }
+
+// Partition returns the underlying partition.
+func (sm *Mesh) Partition() *Partition { return sm.part }
+
+// K returns the number of shards.
+func (sm *Mesh) K() int { return sm.part.K }
+
+// EnableSnapshots implements query.DeformableMesh: it switches every shard
+// sub-mesh to the double-buffered position store so Deform may overlap
+// queries. Like mesh.Mesh.EnableSnapshots it is idempotent and must be
+// called while quiescent.
+func (sm *Mesh) EnableSnapshots() {
+	if sm.snapshots {
+		return
+	}
+	for _, p := range sm.part.Parts {
+		p.Mesh.EnableSnapshots()
+	}
+	sm.snapshots = true
+}
+
+// SnapshotsEnabled reports whether the shard sub-meshes run double-buffered.
+func (sm *Mesh) SnapshotsEnabled() bool { return sm.snapshots }
+
+// Epoch implements query.DeformableMesh: the number of deformation steps
+// published through Deform (0 in stop-the-world mode, like mesh.Mesh).
+func (sm *Mesh) Epoch() uint64 { return sm.epoch.Load() }
+
+// Deform applies one whole-mesh position update: fn mutates the global
+// position array in place (it is pre-loaded with the current state, like
+// mesh.Mesh.Deform's back buffer), and the new positions are then
+// published into every shard sub-mesh along with refreshed owned-vertex
+// bounding boxes. With snapshots enabled each shard publishes through its
+// own double-buffered store, one epoch per global step; router queries in
+// flight keep reading the step they pinned. Deforms serialize with each
+// other and with router queries through the coherence gate.
+func (sm *Mesh) Deform(fn func(pos []geom.Vec3)) {
+	sm.deformMu.Lock()
+	defer sm.deformMu.Unlock()
+	sm.checkNotRestructured()
+	global := sm.global.Positions()
+	fn(global)
+	for _, p := range sm.part.Parts {
+		var b geom.AABB
+		// The scatter rewrites every local position, so the publish can
+		// skip the back buffer's preload copy; the owned box rides along
+		// in the same pass.
+		p.Mesh.DeformOverwrite(func(pos []geom.Vec3) {
+			b = p.scatterBox(pos, global)
+		})
+		p.box = b
+	}
+	sm.epoch.Add(1)
+}
+
+// Resync copies the global mesh's current positions into every shard
+// sub-mesh in place and refreshes the shard boxes — the stop-the-world
+// maintenance path for simulations that deform the global mesh directly
+// (Router.Step calls it each step; call it manually before building
+// engines over a partition whose global mesh has moved since). It must
+// not run concurrently with queries or Deform.
+func (sm *Mesh) Resync() {
+	sm.checkNotRestructured()
+	global := sm.global.Positions()
+	for _, p := range sm.part.Parts {
+		p.box = p.scatterBox(p.Mesh.Positions(), global)
+	}
+}
+
+// checkNotRestructured panics when the global mesh's vertex set changed
+// after partitioning: the remap tables cannot represent the new
+// vertices, and silently dropping them from every shard would corrupt
+// results.
+func (sm *Mesh) checkNotRestructured() {
+	if sm.global.NumVertices() != len(sm.part.Owner) {
+		panic("shard: global mesh was restructured after partitioning; rebuild the partition")
+	}
+}

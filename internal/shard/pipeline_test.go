@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/geom"
+	"octopus/internal/kdtree"
+	"octopus/internal/mesh"
+	"octopus/internal/query"
+	"octopus/internal/sim"
+)
+
+// replayPositions reconstructs the exact global positions at a given
+// epoch by re-running the deterministic deformer from the pristine
+// state — the oracle for epoch-pinned results.
+func replayPositions(orig []geom.Vec3, seed int64, epoch uint64) []geom.Vec3 {
+	pos := append([]geom.Vec3(nil), orig...)
+	d := &sim.NoiseDeformer{Amplitude: 0.03, Frequency: 2, Seed: seed}
+	for step := uint64(0); step < epoch; step++ {
+		d.Step(int(step), pos)
+	}
+	return pos
+}
+
+func bruteAt(pos []geom.Vec3, q geom.AABB) []int32 {
+	var out []int32
+	for i, p := range pos {
+		if q.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func bruteKNNAt(pos []geom.Vec3, p geom.Vec3, k int) []int32 {
+	var b query.KBest
+	b.Reset(k)
+	for i, q := range pos {
+		b.Offer(q.Dist2(p), int32(i))
+	}
+	return b.AppendSorted(nil)
+}
+
+// TestShardedPipelineEpochConsistency runs the live deform+query
+// pipeline over a sharded OCTOPUS engine: the writer publishes global
+// steps into every shard in lockstep while concurrent router cursors
+// drain a mixed workload. Every result must equal brute force at the
+// epoch its trace reports — the cross-shard coherence gate means no
+// result can mix two steps, even when the fan-out spans shards.
+func TestShardedPipelineEpochConsistency(t *testing.T) {
+	const seed = 31
+	m := buildBoxTet(t, 7, 1.0/7)
+	orig := append([]geom.Vec3(nil), m.Positions()...)
+	sm, err := NewMesh(m, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(sm, func(sub *mesh.Mesh) query.ParallelKNNEngine { return core.New(sub) })
+
+	d := &sim.NoiseDeformer{Amplitude: 0.03, Frequency: 2, Seed: seed}
+	var queries []geom.AABB
+	for i := 0; i < 24; i++ {
+		queries = append(queries, geom.BoxAround(orig[(i*37)%len(orig)], 0.12+0.02*float64(i%5)))
+	}
+	probes := make([]query.KNNQuery, 12)
+	for i := range probes {
+		probes[i] = query.KNNQuery{P: orig[(i*53)%len(orig)], K: 1 + i%7}
+	}
+
+	pl := &query.Pipeline{
+		Engine:   router,
+		Mesh:     sm,
+		Deform:   d.Step,
+		Workers:  4,
+		MinSteps: 3,
+		MaxSteps: 50,
+	}
+	report := pl.Run(queries, probes)
+	if report.Steps < 3 {
+		t.Fatalf("writer published %d steps, want >= 3", report.Steps)
+	}
+	if head := sm.Epoch(); head != uint64(report.Steps) {
+		t.Fatalf("shard epoch %d, steps %d", head, report.Steps)
+	}
+
+	for i, res := range report.RangeResults {
+		tr := report.RangeTraces[i]
+		pos := replayPositions(orig, seed, tr.Epoch)
+		want := bruteAt(pos, queries[i])
+		if d := query.Diff(append([]int32(nil), res...), want); d != "" {
+			t.Fatalf("range %d at epoch %d: %s", i, tr.Epoch, d)
+		}
+		if tr.HeadEpoch < tr.Epoch {
+			t.Fatalf("range %d: head %d < answer epoch %d", i, tr.HeadEpoch, tr.Epoch)
+		}
+	}
+	for i, res := range report.KNNResults {
+		tr := report.KNNTraces[i]
+		pos := replayPositions(orig, seed, tr.Epoch)
+		want := bruteKNNAt(pos, probes[i].P, probes[i].K)
+		if !equalIDs(res, want) {
+			t.Fatalf("kNN %d at epoch %d: got %v want %v", i, tr.Epoch, res, want)
+		}
+	}
+}
+
+// TestShardedPipelinePerShardMaintenance runs a rebuild-per-step inner
+// engine (kd-tree) through the sharded pipeline: the router serializes
+// maintenance per shard (Pipeline must detect MaintenanceSerializer and
+// stand aside) and queries keep draining while individual shards
+// rebuild. Unlike the single-mesh pipeline — where a maintained engine
+// answers at its last Step — every sharded result must be exact at the
+// head epoch its trace reports: a shard whose engine snapshot lags the
+// just-published step answers by direct scan of its owned positions, so
+// per-shard maintenance never tears a result across epochs.
+func TestShardedPipelinePerShardMaintenance(t *testing.T) {
+	const seed = 8
+	m := buildBoxTet(t, 6, 1.0/6)
+	orig := append([]geom.Vec3(nil), m.Positions()...)
+	sm, err := NewMesh(m, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(sm, func(sub *mesh.Mesh) query.ParallelKNNEngine { return kdtree.NewEngine(sub, 0) })
+	if !router.SerializesMaintenance() {
+		t.Fatal("router must self-serialize maintenance")
+	}
+
+	d := &sim.NoiseDeformer{Amplitude: 0.03, Frequency: 2, Seed: seed}
+	var queries []geom.AABB
+	for i := 0; i < 32; i++ {
+		queries = append(queries, geom.BoxAround(orig[(i*31)%len(orig)], 0.15))
+	}
+	probes := make([]query.KNNQuery, 8)
+	for i := range probes {
+		probes[i] = query.KNNQuery{P: orig[(i*17)%len(orig)], K: 3}
+	}
+	pl := &query.Pipeline{
+		Engine:   router,
+		Mesh:     sm,
+		Deform:   d.Step,
+		Workers:  4,
+		MinSteps: 4,
+		MaxSteps: 64,
+	}
+	report := pl.Run(queries, probes)
+	if report.Steps < 4 {
+		t.Fatalf("writer published %d steps", report.Steps)
+	}
+	for i, res := range report.RangeResults {
+		tr := report.RangeTraces[i]
+		pos := replayPositions(orig, seed, tr.Epoch)
+		want := bruteAt(pos, queries[i])
+		if d := query.Diff(append([]int32(nil), res...), want); d != "" {
+			t.Fatalf("range %d at epoch %d: %s", i, tr.Epoch, d)
+		}
+	}
+	for i, res := range report.KNNResults {
+		tr := report.KNNTraces[i]
+		pos := replayPositions(orig, seed, tr.Epoch)
+		want := bruteKNNAt(pos, probes[i].P, probes[i].K)
+		if !equalIDs(res, want) {
+			t.Fatalf("kNN %d at epoch %d: got %v want %v", i, tr.Epoch, res, want)
+		}
+	}
+	mean, maxS := query.StalenessStats(report.Traces())
+	t.Logf("per-shard maintenance: %d steps, staleness mean %.2f max %d", report.Steps, mean, maxS)
+}

@@ -1,0 +1,244 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/query"
+)
+
+// Router executes queries across the shards of a Mesh, one inner engine
+// per shard. It implements query.ParallelKNNEngine:
+//
+//   - Range queries fan out only to the shards whose owned-vertex bounding
+//     box intersects the query box; each shard engine answers on its
+//     sub-mesh, ghost hits are dropped (the neighbor shard reports them),
+//     and the remaining local ids are remapped to global ids.
+//   - kNN visits shards best-first by box distance to the probe under a
+//     shared query.KBest holding the global k best so far: a shard whose
+//     box distance exceeds the current k-th distance cannot contribute and
+//     is pruned without being queried (ties at the bound are not pruned —
+//     an equal-distance candidate with a smaller global id still wins).
+//
+// Maintenance (Step) locks and steps one shard at a time; queries take
+// only the locks of the shards they fan out to. A rebuild-per-step inner
+// engine therefore stalls just the queries that need the shard being
+// rebuilt — on a single mesh it stalls all of them. Router implements
+// query.MaintenanceSerializer so the pipeline stands aside and lets it.
+type Router struct {
+	sm      *Mesh
+	engines []query.ParallelKNNEngine
+
+	// maint[s] serializes shard s's index maintenance against the queries
+	// fanned out to s.
+	maint []sync.RWMutex
+
+	name     string
+	resident *Cursor
+
+	// Fan-out statistics (atomic: cursors update them concurrently).
+	rangeQueries atomic.Int64
+	rangeFanout  atomic.Int64
+	knnQueries   atomic.Int64
+	knnScanned   atomic.Int64
+	knnWidenings atomic.Int64
+}
+
+// NewRouter builds one inner engine per shard with factory and returns
+// the cross-shard router. Construction cost is the sharded equivalent of
+// single-engine preprocessing.
+func NewRouter(sm *Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Router {
+	r := &Router{
+		sm:    sm,
+		maint: make([]sync.RWMutex, sm.part.K),
+	}
+	inner := "empty"
+	for _, p := range sm.part.Parts {
+		eng := factory(p.Mesh)
+		r.engines = append(r.engines, eng)
+		inner = eng.Name()
+	}
+	r.name = fmt.Sprintf("Sharded[K=%d]·%s", sm.part.K, inner)
+	r.resident = r.newCursor()
+	return r
+}
+
+// Mesh returns the sharded mesh the router executes over.
+func (r *Router) Mesh() *Mesh { return r.sm }
+
+// Engines returns the per-shard inner engines, in shard order.
+func (r *Router) Engines() []query.ParallelKNNEngine { return r.engines }
+
+// Name implements query.Engine.
+func (r *Router) Name() string { return r.name }
+
+// Step implements query.Engine: per-shard index maintenance. In
+// stop-the-world mode it first re-publishes the global mesh's current
+// positions into every sub-mesh (the paper's update/monitor alternation:
+// the simulation deformed the global mesh in place, queries are not
+// running). Then every shard engine steps under its own shard lock — in
+// pipeline mode queries to the other shards proceed meanwhile.
+func (r *Router) Step() {
+	if !r.sm.snapshots {
+		r.sm.Resync()
+	}
+	for s, eng := range r.engines {
+		r.maint[s].Lock()
+		eng.Step()
+		r.maint[s].Unlock()
+	}
+}
+
+// SerializesMaintenance implements query.MaintenanceSerializer: Step
+// already excludes exactly the queries that touch the shard being
+// maintained, so the pipeline must not wrap it in the global lock.
+func (r *Router) SerializesMaintenance() bool { return true }
+
+// Query implements query.Engine through the resident cursor; like every
+// engine's resident path it is single-threaded (use cursors to go wide).
+func (r *Router) Query(q geom.AABB, out []int32) []int32 {
+	return r.resident.Query(q, out)
+}
+
+// KNN implements query.KNNEngine through the resident cursor, under the
+// same single-threaded contract as Query.
+func (r *Router) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return r.resident.KNN(p, k, out)
+}
+
+// NewCursor implements query.ParallelEngine.
+func (r *Router) NewCursor() query.Cursor { return r.newCursor() }
+
+func (r *Router) newCursor() *Cursor {
+	c := &Cursor{r: r}
+	for _, eng := range r.engines {
+		cur := eng.NewCursor()
+		kc, ok := cur.(query.KNNCursor)
+		if !ok {
+			panic("shard: cursor of " + eng.Name() + " does not implement KNNCursor")
+		}
+		c.curs = append(c.curs, cur)
+		c.knn = append(c.knn, kc)
+	}
+	return c
+}
+
+// MemoryFootprint implements query.Engine: the shard engines' auxiliary
+// structures plus the sharding overhead itself — remap tables, cut-edge
+// lists, and the ghost-ring duplication of sub-mesh storage beyond the
+// global mesh.
+func (r *Router) MemoryFootprint() int64 {
+	var b int64
+	var subMesh int64
+	for s, eng := range r.engines {
+		b += eng.MemoryFootprint()
+		p := r.sm.part.Parts[s]
+		b += int64(len(p.ToGlobal))*4 + int64(len(p.Owned)) + int64(len(p.CutEdges))*8
+		subMesh += p.Mesh.MemoryBytes()
+	}
+	b += int64(len(r.sm.part.Owner)) * 8 // owner + local-id tables
+	if over := subMesh - r.sm.global.MemoryBytes(); over > 0 {
+		b += over
+	}
+	return b
+}
+
+// FanoutStats reports accumulated routing statistics: range queries and
+// the total shards they fanned out to, kNN queries with the shards
+// actually scanned (not pruned by the KBest bound), and the kNN widening
+// rounds (re-queries needed when ghost hits crowded out owned results).
+func (r *Router) FanoutStats() (rangeQ, rangeFan, knnQ, knnScanned, knnWiden int64) {
+	return r.rangeQueries.Load(), r.rangeFanout.Load(),
+		r.knnQueries.Load(), r.knnScanned.Load(), r.knnWidenings.Load()
+}
+
+// Cursor is the router's per-goroutine query state: one inner cursor per
+// shard plus merge scratch. Like every cursor, it is not safe for
+// concurrent use; distinct cursors are.
+type Cursor struct {
+	r       *Router
+	curs    []query.Cursor
+	knn     []query.KNNCursor
+	scratch []int32
+	kb      query.KBest
+	order   []shardDist
+	epoch   uint64
+}
+
+// shardDist orders shards by box distance for the kNN best-first visit.
+type shardDist struct {
+	s  int
+	d2 float64
+}
+
+// Query implements query.Cursor: fan out to box-intersecting shards,
+// filter ghosts, remap to global ids. Result order is unspecified, like
+// every engine's.
+//
+// Every result is consistent with the head epoch (the coherence gate
+// keeps it fixed for the duration of the query): pin-per-query engines
+// read the head buffer, maintained engines whose last Step is the head
+// answer from an identical snapshot, and a shard whose engine snapshot
+// lags the head — possible only in the brief window between a publish
+// and that shard's maintenance in the pipeline — answers by a direct
+// scan of its owned positions instead, so no shard is ever skipped or
+// answered against the wrong geometry.
+func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
+	r := c.r
+	r.sm.deformMu.RLock()
+	defer r.sm.deformMu.RUnlock()
+
+	c.epoch = r.sm.Epoch()
+	fanout := int64(0)
+	for s, p := range r.sm.part.Parts {
+		if !p.box.Intersects(q) {
+			continue
+		}
+		fanout++
+		r.maint[s].RLock()
+		if r.shardStale(s) {
+			pos := p.Mesh.Positions()
+			for l, own := range p.Owned {
+				if own && q.Contains(pos[l]) {
+					out = append(out, p.ToGlobal[l])
+				}
+			}
+		} else {
+			c.scratch = c.curs[s].Query(q, c.scratch[:0])
+			for _, l := range c.scratch {
+				if p.Owned[l] {
+					out = append(out, p.ToGlobal[l])
+				}
+			}
+		}
+		r.maint[s].RUnlock()
+	}
+	r.rangeQueries.Add(1)
+	r.rangeFanout.Add(fanout)
+	return out
+}
+
+// shardStale reports whether shard s's engine answers from a snapshot
+// older than the shard mesh's published head — true only between a
+// Deform publish and the shard's Step in the live pipeline. Callers
+// must hold the shard's maintenance read lock (AnswerEpoch may only be
+// read when Step cannot run concurrently). Engines without an internal
+// snapshot pin the head per query and are never stale.
+func (r *Router) shardStale(s int) bool {
+	er, ok := r.engines[s].(query.EpochReporter)
+	return ok && er.AnswerEpoch() != r.sm.part.Parts[s].Mesh.Epoch()
+}
+
+// LastEpoch implements query.PinnedCursor.
+func (c *Cursor) LastEpoch() uint64 { return c.epoch }
+
+// Close implements query.Cursor: close every shard cursor, folding their
+// statistics into the shard engines.
+func (c *Cursor) Close() {
+	for _, cur := range c.curs {
+		cur.Close()
+	}
+}

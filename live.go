@@ -30,12 +30,17 @@ type QueryTrace = query.QueryTrace
 // PipelineReport is the outcome of one Pipeline.Run.
 type PipelineReport = query.PipelineReport
 
+// DeformableMesh is the dataset surface the pipeline's writer drives: a
+// *Mesh directly, or a *ShardedMesh publishing every shard in lockstep.
+type DeformableMesh = query.DeformableMesh
+
 // NewPipeline assembles a live deform+query pipeline: deform is the
 // per-step in-place update (it receives the back position buffer), tick
 // the minimum interval between steps (0 = continuous), workers the query
 // pool size (<= 0 = GOMAXPROCS). Tune the remaining knobs (MinSteps,
-// MaxSteps, Maintain) on the returned value before Run.
-func NewPipeline(eng ParallelKNNEngine, m *Mesh, deform func(step int, pos []Vec3), tick time.Duration, workers int) *Pipeline {
+// MaxSteps, Maintain) on the returned value before Run. m is a *Mesh or,
+// for sharded execution, the ShardedEngine's Mesh().
+func NewPipeline(eng ParallelKNNEngine, m DeformableMesh, deform func(step int, pos []Vec3), tick time.Duration, workers int) *Pipeline {
 	return &Pipeline{Engine: eng, Mesh: m, Deform: deform, Tick: tick, Workers: workers}
 }
 

@@ -11,6 +11,7 @@ import (
 	"octopus/internal/octree"
 	"octopus/internal/query"
 	"octopus/internal/qutrade"
+	"octopus/internal/shard"
 )
 
 // Geometry primitives.
@@ -162,6 +163,46 @@ func NewQUTrade(m *Mesh, fanout int, window float64) ParallelKNNEngine {
 // NewLUGrid returns the lazily updated uniform-grid baseline.
 func NewLUGrid(m *Mesh, targetCells int) ParallelKNNEngine { return grid.NewLUEngine(m, targetCells) }
 
+// Sharded execution (DESIGN.md §10): the mesh cut into K spatially
+// coherent sub-meshes along the Hilbert order, each served by its own
+// engine instance, with range and kNN queries routed across them.
+
+// ShardedMesh is a global mesh plus its K-way Hilbert partition. It
+// implements the pipeline's DeformableMesh, publishing every deformation
+// step into all shards in lockstep.
+type ShardedMesh = shard.Mesh
+
+// ShardedEngine routes queries across the shards of a ShardedMesh — one
+// inner engine per shard. It implements ParallelKNNEngine: range queries
+// fan out to the shards whose bounding box intersects the query; kNN
+// visits shards best-first under a shared k-best bound that prunes
+// shards that cannot contribute. Results are identical to the inner
+// engine running on the unsharded mesh.
+type ShardedEngine = shard.Router
+
+// ShardPartition exposes the partition itself: per-shard sub-meshes,
+// ownership tables and cut-edge ghost lists.
+type ShardPartition = shard.Partition
+
+// NewShardedMesh cuts m into k shards of (nearly) equal vertex count
+// along the Hilbert order of the current positions. k is clamped to the
+// vertex count.
+func NewShardedMesh(m *Mesh, k int) (*ShardedMesh, error) {
+	return shard.NewMesh(m, k, shard.Options{})
+}
+
+// NewShardedEngine shards m K ways and builds one inner engine per shard
+// with factory (any engine constructor of this package). The returned
+// router is a drop-in ParallelKNNEngine; its Mesh() is the ShardedMesh
+// to hand to a Pipeline for live sharded execution.
+func NewShardedEngine(m *Mesh, k int, factory func(*Mesh) ParallelKNNEngine) (*ShardedEngine, error) {
+	sm, err := NewShardedMesh(m, k)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewRouter(sm, factory), nil
+}
+
 // Analytical model (§IV-G).
 
 // ModelConstants holds the machine constants CS (sequential access) and CR
@@ -198,3 +239,8 @@ func BruteForce(m *Mesh, q AABB) []int32 { return query.BruteForce(m, q) }
 // scanning positions, nearest first with ties broken by ascending id — a
 // testing aid and the ordering contract of every KNNEngine.
 func BruteForceKNN(m *Mesh, p Vec3, k int) []int32 { return query.BruteForceKNN(m, p, k) }
+
+// Diff compares two result sets (destructively sorting both) and returns
+// a description of the first discrepancy, or "" when they match — a
+// testing aid for range results, whose order is unspecified.
+func Diff(got, want []int32) string { return query.Diff(got, want) }

@@ -1,0 +1,78 @@
+package octopus_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"octopus"
+	"octopus/internal/meshgen"
+	"octopus/internal/sim"
+)
+
+// TestShardedFacade drives the sharded surface exactly as the README
+// would: shard a dataset, run batched range and kNN queries through the
+// router, check exactness, then run the live pipeline over the sharded
+// mesh.
+func TestShardedFacade(t *testing.T) {
+	m, err := meshgen.BuildBoxTet(8, 8, 8, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := octopus.NewShardedEngine(m, 4, func(sub *octopus.Mesh) octopus.ParallelKNNEngine {
+		return octopus.New(sub)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Mesh().K() != 4 {
+		t.Fatalf("K = %d", eng.Mesh().K())
+	}
+	if part := eng.Mesh().Partition(); len(part.Parts) != 4 {
+		t.Fatalf("parts = %d", len(part.Parts))
+	}
+
+	r := rand.New(rand.NewSource(2))
+	queries := make([]octopus.AABB, 20)
+	for i := range queries {
+		queries[i] = octopus.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), 0.1+0.1*r.Float64())
+	}
+	for i, got := range octopus.ExecuteBatch(eng, queries, 3) {
+		if d := octopus.Diff(got, octopus.BruteForce(m, queries[i])); d != "" {
+			t.Fatalf("query %d: %s", i, d)
+		}
+	}
+	probes := make([]octopus.KNNQuery, 10)
+	for i := range probes {
+		probes[i] = octopus.KNNQuery{P: m.Position(int32(r.Intn(m.NumVertices()))), K: 1 + r.Intn(12)}
+	}
+	for i, got := range octopus.ExecuteKNNBatch(eng, probes, 3) {
+		want := octopus.BruteForceKNN(m, probes[i].P, probes[i].K)
+		if len(got) != len(want) {
+			t.Fatalf("probe %d: %v want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("probe %d: %v want %v", i, got, want)
+			}
+		}
+	}
+
+	// Live pipeline over the sharded mesh.
+	d := &sim.NoiseDeformer{Amplitude: 0.01, Frequency: 2, Seed: 4}
+	pl := octopus.NewPipeline(eng, eng.Mesh(), d.Step, 200*time.Microsecond, 2)
+	pl.MinSteps = 2
+	pl.MaxSteps = 32
+	report := pl.Run(queries[:8], probes[:4])
+	if report.Steps < 2 {
+		t.Fatalf("pipeline published %d steps", report.Steps)
+	}
+	for i, tr := range report.RangeTraces {
+		if tr.HeadEpoch < tr.Epoch {
+			t.Fatalf("trace %d: head %d < epoch %d", i, tr.HeadEpoch, tr.Epoch)
+		}
+	}
+	if eng.Mesh().Epoch() != uint64(report.Steps) {
+		t.Fatalf("sharded epoch %d after %d steps", eng.Mesh().Epoch(), report.Steps)
+	}
+}

@@ -7,11 +7,16 @@
 //
 //	octopus-bench -list
 //	octopus-bench -exp fig7gh [-steps 60] [-queries 15] [-sel 0.001] [-scale 1]
-//	octopus-bench -exp all
+//	octopus-bench -exp all [-json out/]
 //
 // Dataset sizes follow DESIGN.md §3: laptop-scale stand-ins whose model
 // parameters (V, M, S:V) reproduce the paper's trends. -scale (or
 // OCTOPUS_SCALE) refines all meshes towards the paper's surface ratios.
+//
+// Besides the rendered tables, every experiment also writes a
+// machine-readable BENCH_<experiment>.json into the -json directory
+// (default: the working directory; -json "" disables) so the
+// performance trajectory can be tracked across commits.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	sel := flag.Float64("sel", 0, "default query selectivity as a fraction (0 = default 0.001)")
 	scale := flag.Float64("scale", meshgen.Scale(), "dataset scale factor (>= 1)")
 	seed := flag.Int64("seed", 42, "workload random seed")
+	jsonDir := flag.String("json", ".", "directory for per-experiment BENCH_<id>.json files (empty = disabled)")
 	flag.Parse()
 
 	if *list {
@@ -76,6 +82,16 @@ func main() {
 		for _, t := range tables {
 			t.Render(os.Stdout)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		if *jsonDir != "" {
+			path, err := bench.WriteJSON(*jsonDir, e, cfg, tables, elapsed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing JSON: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s completed in %.1fs; wrote %s]\n\n", e.ID, elapsed.Seconds(), path)
+			continue
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, elapsed.Seconds())
 	}
 }

@@ -68,23 +68,40 @@
 //   - Mesh.Deform may overlap queries freely once EnableSnapshots has
 //     run (Pipeline.Run enables it automatically). In-place mutation of
 //     Positions() remains stop-the-world.
-//   - Index maintenance (Engine.Step, ApplySurfaceDelta, restructuring,
-//     tuning setters) still requires exclusive access: position epochs do
-//     not version engine-owned state. Pipeline serializes maintenance
-//     against queries internally; for the OCTOPUS family Step is a no-op,
-//     so its queries never wait.
+//   - Index maintenance mutates engine-owned state that position epochs
+//     do not version, so it must be excluded from queries on the same
+//     maintenance target. Inside a Pipeline, a pressure-aware scheduler
+//     owns that exclusion (DESIGN.md §11): the mesh records dirty
+//     regions (which vertices moved, which cells were restructured),
+//     engines turn them into resumable maintenance tasks — localized
+//     relocation where the structure allows it, a sliceable full pass
+//     otherwise, a nil task for the OCTOPUS family — and the scheduler
+//     runs task slices under one read-write lock per target (the
+//     engine, or each shard of a sharded engine), so OCTOPUS queries
+//     never wait and one shard's maintenance stalls only the queries
+//     fanning out to it.
+//   - Pipeline.MaintenanceBudget bounds each tick's maintenance: tasks
+//     are sliced at the deadline and resumed next tick. A query landing
+//     mid-task never reads the half-updated index — it answers from a
+//     scan of the pinned head positions instead, exact at the head
+//     epoch. Pipeline.SchedulerStats reports slices, completions,
+//     fallback scans and budget utilization.
 //   - Engines that answer from an internal snapshot (the rebuilt trees,
 //     the lazily updated grid and R-trees) report results exact at their
 //     last maintenance epoch; cursors expose the epoch via LastEpoch and
 //     the pipeline reports staleness = head epoch − answer epoch.
 //
 // Pipeline packages the whole arrangement — a writer goroutine stepping
-// the simulation at a configurable tick, a worker pool draining range and
-// kNN queries, per-query latency and staleness traces:
+// the simulation at a configurable tick, a maintenance tick after every
+// step, a worker pool draining range and kNN queries, per-query latency
+// (including any wait for maintenance, per the paper's accounting) and
+// staleness traces:
 //
 //	pl := octopus.NewPipeline(eng, m, deformer.Step, time.Millisecond, 0)
+//	pl.MaintenanceBudget = 500 * time.Microsecond // bound per-tick maintenance
 //	report := pl.Run(queries, probes)
 //	// report.RangeResults[i] is exact at report.RangeTraces[i].Epoch
+//	// pl.SchedulerStats() accounts for every maintenance slice
 //
 // # k-nearest-neighbor queries
 //

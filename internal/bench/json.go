@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// experimentJSON is the machine-readable form of one experiment run,
+// written as BENCH_<id>.json so the performance trajectory can be
+// tracked across commits (CI uploads the files as artifacts).
+type experimentJSON struct {
+	// Experiment is the experiment id (registry key).
+	Experiment string `json:"experiment"`
+	// Description is the registry description at run time.
+	Description string `json:"description"`
+	// Config echoes the scale knobs the run used.
+	Config Config `json:"config"`
+	// ElapsedSeconds is the experiment's wall time.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Tables carries every table verbatim: columns, stringified rows
+	// (exactly what the text renderer prints) and notes.
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON serializes one experiment's tables to dir/BENCH_<id>.json
+// and returns the written path.
+func WriteJSON(dir string, e Experiment, cfg Config, tables []*Table, elapsed time.Duration) (string, error) {
+	out := experimentJSON{
+		Experiment:     e.ID,
+		Description:    e.Description,
+		Config:         cfg,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for _, t := range tables {
+		out.Tables = append(out.Tables, tableJSON{
+			ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", e.ID))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

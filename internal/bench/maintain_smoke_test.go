@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMaintainExperimentSmoke(t *testing.T) {
+	engines := len(knnEngineFactories())
+	if testing.Short() {
+		// The full sweep (9 engines x 2 shardings x 7 mode-rows) takes
+		// minutes; under -short the experiment runs its reduced matrix,
+		// which still covers the whole driver, both deformation regimes
+		// and both shardings.
+		maintainQuickSweep = true
+		defer func() { maintainQuickSweep = false }()
+		engines = 2
+	}
+	cfg := QuickConfig()
+	tables, err := Maintain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		tab.Render(io.Discard)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("maintain produced %d tables, want 2 (massive + localized)", len(tables))
+	}
+	// Every engine appears in all 4 (massive) / 3 (localized) modes,
+	// unsharded and K=4.
+	if want := engines * 4 * 2; len(tables[0].Rows) != want {
+		t.Fatalf("maintain table has %d rows, want %d", len(tables[0].Rows), want)
+	}
+	if want := engines * 3 * 2; len(tables[1].Rows) != want {
+		t.Fatalf("maintain-local table has %d rows, want %d", len(tables[1].Rows), want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := Experiment{ID: "smoke", Description: "json round trip"}
+	tab := &Table{ID: "smoke", Title: "t", Columns: []string{"a", "b"}}
+	tab.AddRow("x", 1.5)
+	path, err := WriteJSON(dir, e, QuickConfig(), []*Table{tab}, 125*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_smoke.json" {
+		t.Fatalf("unexpected path %q", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := string(raw)
+	for _, want := range []string{`"experiment": "smoke"`, `"columns"`, `"x"`, strconv.Quote("1.500")} {
+		if !strings.Contains(data, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}

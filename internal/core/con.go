@@ -6,6 +6,7 @@ import (
 
 	"octopus/internal/geom"
 	"octopus/internal/grid"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -82,6 +83,11 @@ func (c *Con) Name() string { return "OCTOPUS-CON" }
 // Step implements query.Engine: nothing to maintain; the grid is
 // deliberately left stale.
 func (c *Con) Step() {}
+
+// BeginMaintenance implements maintain.Incremental with the nil task:
+// like OCTOPUS, CON's only auxiliary structure is the deliberately stale
+// start-point grid, which staleness cannot make incorrect.
+func (c *Con) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 
 // SetEpochPinning selects whether queries pin a position epoch for their
 // duration (the default) or read the live array; see

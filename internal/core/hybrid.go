@@ -6,6 +6,7 @@ import (
 	"octopus/internal/geom"
 	"octopus/internal/histogram"
 	"octopus/internal/linearscan"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -57,6 +58,11 @@ func (h *Hybrid) Name() string { return "OCTOPUS-Hybrid" }
 
 // Step implements query.Engine; neither routed engine needs maintenance.
 func (h *Hybrid) Step() {}
+
+// BeginMaintenance implements maintain.Incremental with the nil task:
+// neither routed side maintains positional state (the stale histogram
+// only ever costs routing quality, never correctness).
+func (h *Hybrid) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 
 // SetEpochPinning selects whether queries pin a position epoch for their
 // duration (the default); it applies to both routed sides — the OCTOPUS

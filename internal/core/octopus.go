@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -225,6 +226,13 @@ func (o *Octopus) Name() string { return "OCTOPUS" }
 // Step implements query.Engine. Mesh deformation changes no connectivity,
 // so OCTOPUS has nothing to maintain — the core of its advantage.
 func (o *Octopus) Step() {}
+
+// BeginMaintenance implements maintain.Incremental with the nil task:
+// OCTOPUS reads positions through per-query pinned epochs, so positional
+// dirt needs no index work at all, and structural dirt is handled by the
+// explicit ApplySurfaceDelta path (under the scheduler's exclusive
+// section). The localized path in its purest form.
+func (o *Octopus) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 
 // SetApproximation sets the fraction of surface vertices probed per query
 // (§IV-H2). frac is clamped to (0, 1]; 1 restores exact execution. Not

@@ -296,18 +296,21 @@ func (g *Grid) Relocate(id int32, old, now geom.Vec3) {
 }
 
 // Query appends all ids whose cell intersects q and whose position (looked
-// up through pos) lies inside q.
+// up through pos) lies inside q. The query corners are clamped into the
+// grid rather than intersected with it: positions outside the build-time
+// bounds live in boundary cells (CellOf clamps), so a query box beyond
+// the bounds must still scan the boundary layer it clamps to — skipping
+// it would silently miss vertices that drifted out of the grid.
 func (g *Grid) Query(q geom.AABB, pos []geom.Vec3, out []int32) []int32 {
-	qc := q.Intersection(g.bounds)
-	if qc.IsEmpty() {
+	if q.IsEmpty() {
 		return out
 	}
-	x0 := g.clampAxis((qc.Min.X - g.bounds.Min.X) * g.inv.X)
-	x1 := g.clampAxis((qc.Max.X - g.bounds.Min.X) * g.inv.X)
-	y0 := g.clampAxis((qc.Min.Y - g.bounds.Min.Y) * g.inv.Y)
-	y1 := g.clampAxis((qc.Max.Y - g.bounds.Min.Y) * g.inv.Y)
-	z0 := g.clampAxis((qc.Min.Z - g.bounds.Min.Z) * g.inv.Z)
-	z1 := g.clampAxis((qc.Max.Z - g.bounds.Min.Z) * g.inv.Z)
+	x0 := g.clampAxis((q.Min.X - g.bounds.Min.X) * g.inv.X)
+	x1 := g.clampAxis((q.Max.X - g.bounds.Min.X) * g.inv.X)
+	y0 := g.clampAxis((q.Min.Y - g.bounds.Min.Y) * g.inv.Y)
+	y1 := g.clampAxis((q.Max.Y - g.bounds.Min.Y) * g.inv.Y)
+	z0 := g.clampAxis((q.Min.Z - g.bounds.Min.Z) * g.inv.Z)
+	z1 := g.clampAxis((q.Max.Z - g.bounds.Min.Z) * g.inv.Z)
 	for z := z0; z <= z1; z++ {
 		for y := y0; y <= y1; y++ {
 			base := y*g.nx + z*g.nx*g.ny

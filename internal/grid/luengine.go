@@ -2,6 +2,7 @@ package grid
 
 import (
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -12,8 +13,9 @@ import (
 // rebuilds, but under the paper's workload almost every vertex moves every
 // step so maintenance still touches the whole dataset.
 type LUEngine struct {
-	m *mesh.Mesh
-	g *Grid
+	m     *mesh.Mesh
+	g     *Grid
+	cells int // target cell count, for rebuilds after structural change
 	// last is the shadow position copy taken at the last Step: the lazy
 	// policy diffs against it, and queries evaluate against it, so every
 	// answer is exact at the epoch of the last maintenance (answerEpoch)
@@ -27,9 +29,10 @@ type LUEngine struct {
 // the mesh's current state.
 func NewLUEngine(m *mesh.Mesh, targetCells int) *LUEngine {
 	e := &LUEngine{
-		m:    m,
-		g:    Build(m, targetCells),
-		last: make([]geom.Vec3, m.NumVertices()),
+		m:     m,
+		g:     Build(m, targetCells),
+		cells: targetCells,
+		last:  make([]geom.Vec3, m.NumVertices()),
 	}
 	copy(e.last, m.Positions())
 	e.answerEpoch = m.Epoch()
@@ -40,13 +43,50 @@ func NewLUEngine(m *mesh.Mesh, targetCells int) *LUEngine {
 func (e *LUEngine) Name() string { return "LU-Grid" }
 
 // Step implements query.Engine: relocate every vertex that changed cell.
+// When the vertex set itself changed (restructuring), the grid is
+// rebuilt from scratch instead — the cell assignment of ids that no
+// longer exist cannot be patched per vertex.
 func (e *LUEngine) Step() {
 	pos := e.m.Positions()
+	if len(pos) != len(e.last) {
+		e.g = Build(e.m, e.cells)
+		e.last = append(e.last[:0], pos...)
+		e.answerEpoch = e.m.Epoch()
+		return
+	}
 	for i := range pos {
 		e.g.Relocate(int32(i), e.last[i], pos[i])
 		e.last[i] = pos[i]
 	}
 	e.answerEpoch = e.m.Epoch()
+}
+
+// BeginMaintenance implements maintain.Incremental: re-bucket only the
+// dirty vertices — the LU-Grid policy applied to the dirty set instead
+// of a whole-array sweep — as a resumable, budget-sliced task.
+func (e *LUEngine) BeginMaintenance(d mesh.DirtyRegion) maintain.Task {
+	head := e.m.Epoch()
+	if d.Structural || len(e.last) != e.m.NumVertices() {
+		return maintain.StepTask(e)
+	}
+	if head == e.answerEpoch && d.Empty() {
+		return nil
+	}
+	verts := maintain.NormalizeDirty(d, e.answerEpoch, head)
+	newPos := maintain.CapturePositions(e.m.Positions(), verts)
+	return &maintain.RelocationTask{
+		Verts: verts,
+		N:     len(newPos),
+		Apply: func(i int, v int32) {
+			np := newPos[i]
+			if e.last[v] == np {
+				return
+			}
+			e.g.Relocate(v, e.last[v], np)
+			e.last[v] = np
+		},
+		Done: func() { e.answerEpoch = head },
+	}
 }
 
 // AnswerEpoch implements query.EpochReporter: queries answer at the state

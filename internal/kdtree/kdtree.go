@@ -6,6 +6,7 @@ package kdtree
 
 import (
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -13,12 +14,20 @@ import (
 // DefaultBucketSize is the leaf capacity used when none is given.
 const DefaultBucketSize = 256
 
-// Tree is a bucket kd-tree over a snapshot of positions.
+// Tree is a bucket kd-tree over a snapshot of positions. Like the
+// octree it additionally supports localized maintenance between rebuilds
+// (Relocate): moved points hop between leaf buckets, with per-leaf
+// overflow buckets for arrivals since the packed id array cannot grow in
+// place. kd splits cover all of space, so no stray list is needed.
 type Tree struct {
 	pos    []geom.Vec3
 	ids    []int32
 	nodes  []node
 	bucket int
+
+	// extra[n] holds ids relocated into leaf n after the build; nil
+	// until the first relocation.
+	extra [][]int32
 }
 
 // node is one kd-tree node; leaves reference ids[start:start+count].
@@ -115,6 +124,11 @@ func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
 				out = append(out, id)
 			}
 		}
+		for _, id := range t.leafExtra(idx) {
+			if q.Contains(t.pos[id]) {
+				out = append(out, id)
+			}
+		}
 		return out
 	}
 	if q.Min.Component(int(n.axis)) < n.split {
@@ -145,6 +159,9 @@ func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
 		for _, id := range t.ids[n.start : n.start+n.count] {
 			b.Offer(t.pos[id].Dist2(p), id)
 		}
+		for _, id := range t.leafExtra(idx) {
+			b.Offer(t.pos[id].Dist2(p), id)
+		}
 		return
 	}
 	diff := p.Component(int(n.axis)) - n.split
@@ -160,14 +177,93 @@ func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
 	}
 }
 
+// leafExtra returns the overflow bucket of leaf idx (nil when none).
+func (t *Tree) leafExtra(idx int32) []int32 {
+	if t.extra == nil {
+		return nil
+	}
+	return t.extra[idx]
+}
+
+// Relocate moves id from the bucket holding old to the bucket for now —
+// the localized maintenance primitive (DESIGN.md §11). Buckets are
+// located by descending with the position through the same split
+// comparisons the build partitioned with, so the id is found without any
+// id->leaf map. It returns true when the id actually changed leaf.
+func (t *Tree) Relocate(id int32, old, now geom.Vec3) bool {
+	if len(t.nodes) == 0 {
+		return false
+	}
+	src := t.leafFor(old)
+	dst := t.leafFor(now)
+	if src == dst {
+		return false
+	}
+	t.removeFromLeaf(src, id)
+	if t.extra == nil {
+		t.extra = make([][]int32, len(t.nodes))
+	}
+	t.extra[dst] = append(t.extra[dst], id)
+	return true
+}
+
+// leafFor descends from the root with p; kd splits partition all of
+// space, so a leaf always exists.
+func (t *Tree) leafFor(p geom.Vec3) int32 {
+	idx := int32(0)
+	for {
+		n := &t.nodes[idx]
+		if n.leaf {
+			return idx
+		}
+		if p.Component(int(n.axis)) < n.split {
+			idx = n.left
+		} else {
+			idx = n.right
+		}
+	}
+}
+
+// removeFromLeaf deletes id from leaf idx's packed range or overflow
+// bucket, reporting whether it was found.
+func (t *Tree) removeFromLeaf(idx, id int32) bool {
+	n := &t.nodes[idx]
+	for i := n.start; i < n.start+n.count; i++ {
+		if t.ids[i] == id {
+			t.ids[i] = t.ids[n.start+n.count-1]
+			n.count--
+			return true
+		}
+	}
+	ex := t.leafExtra(idx)
+	for i, v := range ex {
+		if v == id {
+			ex[i] = ex[len(ex)-1]
+			t.extra[idx] = ex[:len(ex)-1]
+			return true
+		}
+	}
+	return false
+}
+
 // MemoryBytes returns the tree's footprint.
 func (t *Tree) MemoryBytes() int64 {
 	const nodeBytes = 8 + 1 + 1 + 4 + 4 + 4 + 4 + 6 // fields + pad
-	return int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4
+	b := int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4
+	for _, ex := range t.extra {
+		b += int64(cap(ex)) * 4
+	}
+	if t.extra != nil {
+		b += int64(len(t.extra)) * 24
+	}
+	return b
 }
 
 // Engine adapts the kd-tree to the query.Engine lifecycle with a full
-// rebuild per step.
+// rebuild per step — or, under the incremental-maintenance scheduler
+// (maintain.Incremental), a budget-sliced relocation of only the dirty
+// vertices, with the rebuild reserved for structural change and drift
+// degradation (DESIGN.md §11).
 type Engine struct {
 	m      *mesh.Mesh
 	bucket int
@@ -175,8 +271,14 @@ type Engine struct {
 	// snap is the engine-owned position copy the tree is built over
 	// (reused across rebuilds); see the octree engine for why the
 	// throwaway index snapshots instead of aliasing the live array.
+	// Incremental maintenance keeps snap in lockstep with the tree per
+	// vertex.
 	snap        []geom.Vec3
 	answerEpoch uint64
+	// leafMoves counts leaf-to-leaf relocations since the last full
+	// rebuild — the tree-quality trigger (the splits go stale as the
+	// geometry drifts).
+	leafMoves int
 }
 
 // NewEngine builds the initial tree. bucket <= 0 uses DefaultBucketSize.
@@ -190,11 +292,48 @@ func NewEngine(m *mesh.Mesh, bucket int) *Engine {
 func (e *Engine) Name() string { return "KD-Tree" }
 
 // Step implements query.Engine: rebuild from scratch over a fresh
-// position snapshot.
+// position snapshot. It doubles as the monolithic compatibility shim of
+// the maintenance scheduler and is safe mid-relocation (snap stays
+// per-vertex coherent).
 func (e *Engine) Step() {
 	e.snap = append(e.snap[:0], e.m.Positions()...)
 	e.tree = Build(e.snap, e.bucket)
+	e.leafMoves = 0
 	e.answerEpoch = e.m.Epoch()
+}
+
+// BeginMaintenance implements maintain.Incremental: relocate exactly the
+// dirty vertices between leaf buckets, one bounded slice at a time; full
+// rebuild on structural change or once drift has moved more than half
+// the vertices across leaves since the last build.
+func (e *Engine) BeginMaintenance(d mesh.DirtyRegion) maintain.Task {
+	head := e.m.Epoch()
+	if d.Structural || len(e.snap) != e.m.NumVertices() {
+		return maintain.StepTask(e)
+	}
+	if head == e.answerEpoch && d.Empty() {
+		return nil
+	}
+	if e.leafMoves > len(e.snap)/2 {
+		return maintain.StepTask(e)
+	}
+	verts := maintain.NormalizeDirty(d, e.answerEpoch, head)
+	newPos := maintain.CapturePositions(e.m.Positions(), verts)
+	return &maintain.RelocationTask{
+		Verts: verts,
+		N:     len(newPos),
+		Apply: func(i int, v int32) {
+			np := newPos[i]
+			if e.snap[v] == np {
+				return
+			}
+			if e.tree.Relocate(v, e.snap[v], np) {
+				e.leafMoves++
+			}
+			e.snap[v] = np
+		},
+		Done: func() { e.answerEpoch = head },
+	}
 }
 
 // AnswerEpoch implements query.EpochReporter: queries answer at the state

@@ -6,6 +6,7 @@ package linearscan
 
 import (
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -25,6 +26,10 @@ func (s *Scan) Name() string { return "LinearScan" }
 
 // Step implements query.Engine; the scan has nothing to maintain.
 func (s *Scan) Step() {}
+
+// BeginMaintenance implements maintain.Incremental with the nil task:
+// the scan stores nothing, so nothing is ever dirty.
+func (s *Scan) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 
 // Query implements query.Engine.
 func (s *Scan) Query(q geom.AABB, out []int32) []int32 {

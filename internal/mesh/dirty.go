@@ -1,0 +1,200 @@
+package mesh
+
+import (
+	"sort"
+
+	"octopus/internal/geom"
+)
+
+// This file implements dirty-region tracking, the mesh side of the
+// incremental-maintenance subsystem (DESIGN.md §11). With tracking
+// enabled, every published deformation step records which vertices
+// actually moved — their ids, and a coarse AABB covering both their old
+// and new positions — and every restructuring operation records the cells
+// it touched. Index engines consume the accumulated region through
+// TakeDirty (reset on consume) and maintain only the dirty part of their
+// structures instead of paying a monolithic per-step rebuild.
+//
+// Tracking costs one position-compare pass per published step (the same
+// order as the publish copy itself) and is off by default; the live
+// pipeline enables it automatically.
+
+// DirtyRegion describes where the mesh changed over an epoch interval.
+// The zero value means "nothing changed".
+type DirtyRegion struct {
+	// Box is the union AABB of the old and new positions of every moved
+	// vertex — the coarse region an engine must restructure over. It is
+	// EmptyBox-valued when no vertex moved.
+	Box geom.AABB
+	// Verts lists the ids of the vertices that moved, ascending and
+	// deduplicated. It is nil when Overflow is set (too many movers to be
+	// worth enumerating) and empty when nothing moved.
+	Verts []int32
+	// Overflow reports that more vertices moved than the tracking cap:
+	// Verts is nil and engines should treat every vertex as potentially
+	// dirty (Box is still valid).
+	Overflow bool
+	// Structural reports that mesh connectivity changed (cell split or
+	// delete): localized positional maintenance is insufficient and
+	// engines must take their full-rebuild path.
+	Structural bool
+	// Cells lists the ids of the cells touched by restructuring since the
+	// last consume — the dirty-cell set of the structural path.
+	Cells []int32
+	// From and To delimit the position epochs the region covers:
+	// everything that changed publishing epochs (From, To].
+	From, To uint64
+}
+
+// Empty reports whether the region records no change at all.
+func (d DirtyRegion) Empty() bool {
+	return !d.Overflow && !d.Structural && len(d.Verts) == 0 && d.From == d.To
+}
+
+// Merge folds o (a later interval) into d so that d covers both.
+func (d *DirtyRegion) Merge(o DirtyRegion) {
+	if o.From < d.From || d.From == d.To {
+		d.From = o.From
+	}
+	if o.To > d.To {
+		d.To = o.To
+	}
+	if o.Structural {
+		d.Structural = true
+	}
+	d.Cells = append(d.Cells, o.Cells...)
+	if o.Overflow {
+		d.Overflow = true
+		d.Verts = nil
+	}
+	d.Box = d.Box.Union(o.Box)
+	if d.Overflow {
+		return
+	}
+	// Merge the sorted, deduplicated id lists.
+	if len(o.Verts) == 0 {
+		return
+	}
+	if len(d.Verts) == 0 {
+		d.Verts = append(d.Verts[:0], o.Verts...)
+		return
+	}
+	merged := make([]int32, 0, len(d.Verts)+len(o.Verts))
+	i, j := 0, 0
+	for i < len(d.Verts) || j < len(o.Verts) {
+		switch {
+		case j >= len(o.Verts) || (i < len(d.Verts) && d.Verts[i] < o.Verts[j]):
+			merged = append(merged, d.Verts[i])
+			i++
+		case i >= len(d.Verts) || o.Verts[j] < d.Verts[i]:
+			merged = append(merged, o.Verts[j])
+			j++
+		default: // equal
+			merged = append(merged, d.Verts[i])
+			i++
+			j++
+		}
+	}
+	d.Verts = merged
+}
+
+// DefaultDirtyCap returns the default tracking cap for a mesh of n
+// vertices: past half the mesh, enumerating movers costs more than a
+// full sweep saves, so tracking overflows instead.
+func DefaultDirtyCap(n int) int {
+	cap := n / 2
+	if cap < 64 {
+		cap = 64
+	}
+	return cap
+}
+
+// EnableDirtyTracking switches on dirty-region recording for every
+// subsequent Deform and restructuring operation. It requires (and, being
+// only meaningful there, enables) position snapshots — without a second
+// buffer the old state is overwritten in place and there is nothing to
+// diff against. Idempotent; must be called while the mesh is quiescent.
+func (m *Mesh) EnableDirtyTracking() {
+	if m.dirtyOn {
+		return
+	}
+	m.EnableSnapshots()
+	m.dirtyOn = true
+	m.dirtyCap = DefaultDirtyCap(len(m.pos))
+	m.dirtyMark = make([]uint32, len(m.pos))
+	m.dirtyStamp = 1
+	m.dirty = DirtyRegion{Box: geom.EmptyBox(), From: m.Epoch(), To: m.Epoch()}
+}
+
+// DirtyTrackingEnabled reports whether dirty-region recording is on.
+func (m *Mesh) DirtyTrackingEnabled() bool { return m.dirtyOn }
+
+// TakeDirty returns the dirty region accumulated since the last call (or
+// since tracking was enabled) and resets the accumulator — the consume
+// side of the contract. With tracking disabled it still reports the epoch
+// interval, flagged Overflow whenever the epoch advanced, so consumers
+// can fall back to whole-mesh maintenance. TakeDirty must not run
+// concurrently with Deform or restructuring (the scheduler calls it from
+// the writer goroutine between steps).
+func (m *Mesh) TakeDirty() DirtyRegion {
+	head := m.Epoch()
+	if !m.dirtyOn {
+		d := DirtyRegion{From: m.dirtyFrom, To: head, Box: geom.EmptyBox()}
+		d.Overflow = head != m.dirtyFrom
+		m.dirtyFrom = head
+		return d
+	}
+	d := m.dirty
+	d.To = head
+	sort.Slice(d.Verts, func(i, j int) bool { return d.Verts[i] < d.Verts[j] })
+	m.dirty = DirtyRegion{Box: geom.EmptyBox(), From: head, To: head}
+	m.dirtyStamp++
+	m.dirtyFrom = head
+	return d
+}
+
+// recordDeformDirty diffs the freshly published buffer against the
+// previous front and folds the movers into the accumulator. Called by
+// publish after fn ran, before the epoch store; old and now have equal
+// length. Cross-step deduplication is an epoch-stamped mark array (O(1)
+// per vertex, O(1) reset on consume).
+func (m *Mesh) recordDeformDirty(old, now []geom.Vec3) {
+	d := &m.dirty
+	for i := range now {
+		if old[i] == now[i] {
+			continue
+		}
+		d.Box = d.Box.Extend(old[i]).Extend(now[i])
+		if d.Overflow || m.dirtyMark[i] == m.dirtyStamp {
+			continue
+		}
+		m.dirtyMark[i] = m.dirtyStamp
+		if len(d.Verts) >= m.dirtyCap {
+			d.Overflow = true
+			d.Verts = nil
+			continue
+		}
+		d.Verts = append(d.Verts, int32(i))
+	}
+}
+
+// recordStructuralDirty marks a restructuring operation on cell ci.
+func (m *Mesh) recordStructuralDirty(ci int32, touched geom.AABB) {
+	if !m.dirtyOn {
+		return
+	}
+	m.dirty.Structural = true
+	m.dirty.Cells = append(m.dirty.Cells, ci)
+	m.dirty.Box = m.dirty.Box.Union(touched)
+}
+
+// cellBox returns the AABB of cell ci's vertices at the current epoch.
+func (m *Mesh) cellBox(ci int) geom.AABB {
+	b := geom.EmptyBox()
+	c := &m.cells[ci]
+	pos := m.front()
+	for k := 0; k < c.VertexCount(); k++ {
+		b = b.Extend(pos[c.Verts[k]])
+	}
+	return b
+}

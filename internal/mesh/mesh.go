@@ -81,6 +81,16 @@ type Mesh struct {
 	pins     [2]atomic.Int64
 	writerMu sync.Mutex
 
+	// Dirty-region tracking (dirty.go): which vertices moved and which
+	// cells were restructured since the last TakeDirty. Off by default;
+	// the incremental-maintenance scheduler enables and consumes it.
+	dirtyOn    bool
+	dirtyCap   int
+	dirty      DirtyRegion
+	dirtyMark  []uint32
+	dirtyStamp uint32
+	dirtyFrom  uint64
+
 	// CSR adjacency over vertices: the neighbours of vertex v are
 	// adjList[adjStart[v]:adjStart[v+1]].
 	adjStart []int32

@@ -146,6 +146,9 @@ func (m *Mesh) publish(fn func(pos []geom.Vec3), preload bool) {
 		copy(target, m.buf(e))
 	}
 	fn(target)
+	if m.dirtyOn {
+		m.recordDeformDirty(m.buf(e), target)
+	}
 	m.epoch.Store(e + 1) // the single publishing store
 }
 
@@ -161,6 +164,13 @@ func (m *Mesh) growPosition(p geom.Vec3) int32 {
 	if m.back != nil {
 		m.back = append(m.back, p)
 		m.epoch.Add(2)
+	}
+	if m.dirtyOn {
+		// The new vertex set is a structural change by definition; the
+		// mark array must track the grown id space.
+		m.dirtyMark = append(m.dirtyMark, 0)
+		m.dirty.Structural = true
+		m.dirty.Box = m.dirty.Box.Extend(p)
 	}
 	return v
 }

@@ -166,6 +166,7 @@ func (m *Mesh) SplitCell(ci int) (newVertex int32, delta SurfaceDelta, err error
 		m.patched[v] = upd
 	}
 
+	m.recordStructuralDirty(int32(ci), m.cellBox(ci))
 	return x, SurfaceDelta{}, nil
 }
 
@@ -223,6 +224,7 @@ func (m *Mesh) DeleteCell(ci int) (SurfaceDelta, error) {
 	}
 	sortInt32(delta.Added)
 	sortInt32(delta.Removed)
+	m.recordStructuralDirty(int32(ci), m.cellBox(ci))
 	return delta, nil
 }
 

@@ -19,12 +19,25 @@ import (
 // our dataset sizes; it remains configurable via Build.
 const DefaultBucketSize = 512
 
-// Tree is a bucket PR octree over a snapshot of positions.
+// Tree is a bucket PR octree over a snapshot of positions. Built as a
+// throwaway snapshot index, it additionally supports localized
+// maintenance between rebuilds (Relocate): moved points hop between leaf
+// buckets instead of forcing a rebuild, with per-leaf overflow buckets
+// for arrivals (the packed id array cannot grow in place) and a stray
+// list for points that drift outside the root box (which the node-box
+// pruning could otherwise never reach).
 type Tree struct {
 	pos    []geom.Vec3
 	ids    []int32 // permuted id storage; leaves reference subranges
 	nodes  []node
 	bucket int
+
+	// extra[n] holds ids relocated into leaf n after the build; nil
+	// until the first relocation, so the throwaway path pays nothing.
+	extra [][]int32
+	// strays holds ids whose position left the root box; every query
+	// scans them (the rebuild trigger keeps the list short).
+	strays []int32
 }
 
 // node is one octree node. Leaves reference ids[start:start+count];
@@ -144,7 +157,13 @@ func (t *Tree) Query(q geom.AABB, out []int32) []int32 {
 	if len(t.nodes) == 0 {
 		return out
 	}
-	return t.query(0, q, out)
+	out = t.query(0, q, out)
+	for _, id := range t.strays {
+		if q.Contains(t.pos[id]) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
@@ -154,11 +173,19 @@ func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
 	}
 	if n.leaf {
 		if q.ContainsBox(n.box) {
-			// Whole-leaf inclusion: no per-point tests needed.
+			// Whole-leaf inclusion: no per-point tests needed. Extras
+			// were inserted by descending with their position, so they
+			// lie inside the leaf box too.
 			out = append(out, t.ids[n.start:n.start+n.count]...)
+			out = append(out, t.leafExtra(idx)...)
 			return out
 		}
 		for _, id := range t.ids[n.start : n.start+n.count] {
+			if q.Contains(t.pos[id]) {
+				out = append(out, id)
+			}
+		}
+		for _, id := range t.leafExtra(idx) {
 			if q.Contains(t.pos[id]) {
 				out = append(out, id)
 			}
@@ -173,6 +200,14 @@ func (t *Tree) query(idx int32, q geom.AABB, out []int32) []int32 {
 	return out
 }
 
+// leafExtra returns the overflow bucket of leaf idx (nil when none).
+func (t *Tree) leafExtra(idx int32) []int32 {
+	if t.extra == nil || int(idx) >= len(t.extra) {
+		return nil
+	}
+	return t.extra[idx]
+}
+
 // KNN appends the k points closest to p to out, nearest first (ties by
 // ascending id): a distance-ordered descent — at every internal node the
 // up-to-eight children are visited in order of increasing box distance to
@@ -182,6 +217,10 @@ func (t *Tree) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	var b query.KBest
 	b.Reset(k)
 	if len(t.nodes) > 0 && k > 0 {
+		// Strays first: they are few and cannot be pruned by node boxes.
+		for _, id := range t.strays {
+			b.Offer(t.pos[id].Dist2(p), id)
+		}
 		t.knn(0, p, &b)
 	}
 	return b.AppendSorted(out)
@@ -191,6 +230,9 @@ func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
 	n := &t.nodes[idx]
 	if n.leaf {
 		for _, id := range t.ids[n.start : n.start+n.count] {
+			b.Offer(t.pos[id].Dist2(p), id)
+		}
+		for _, id := range t.leafExtra(idx) {
 			b.Offer(t.pos[id].Dist2(p), id)
 		}
 		return
@@ -225,14 +267,182 @@ func (t *Tree) knn(idx int32, p geom.Vec3, b *query.KBest) {
 	}
 }
 
+// Relocate moves id from the bucket holding old to the bucket for now —
+// the localized maintenance primitive (DESIGN.md §11). Buckets are
+// located by descending with the position through the same predicates
+// the build partitioned with, so the id is found without any id->leaf
+// map. It returns true when the id actually changed bucket (the
+// engine's rebuild-quality counter), false when the move stayed within
+// one bucket.
+func (t *Tree) Relocate(id int32, old, now geom.Vec3) bool {
+	if len(t.nodes) == 0 {
+		return false
+	}
+	root := t.nodes[0].box
+	const stray = int32(-2)
+	src, dst := stray, stray
+	if root.Contains(old) {
+		src = t.leafFor(old)
+		// Fast path: a point strictly inside its old leaf's box descends
+		// to the same leaf (the box faces are exactly the descend's
+		// center comparisons), so the common small-move case costs one
+		// descend and six compares. Boundary points fall through to the
+		// exact double-descend.
+		if src >= 0 && strictlyInside(t.nodes[src].box, now) {
+			return false
+		}
+	}
+	if root.Contains(now) {
+		dst = t.leafForCreate(now)
+	}
+	if src == dst {
+		return false
+	}
+	if src == stray {
+		t.removeStray(id)
+	} else if !t.removeFromLeaf(src, id) {
+		// Defensive: a boundary-coordinate descend mismatch would strand
+		// the id; the stray list is the only other place it can be.
+		t.removeStray(id)
+	}
+	if dst == stray {
+		t.strays = append(t.strays, id)
+	} else {
+		t.addExtra(dst, id)
+	}
+	return true
+}
+
+// leafFor descends from the root with p and returns the leaf on p's
+// deterministic path, or -1 when the path runs into an absent child
+// (possible only for positions that were never inserted).
+func (t *Tree) leafFor(p geom.Vec3) int32 {
+	idx := int32(0)
+	for {
+		n := &t.nodes[idx]
+		if n.leaf {
+			return idx
+		}
+		c := t.nodes[idx].children[t.octantOf(n.box, p)]
+		if c < 0 {
+			return -1
+		}
+		idx = c
+	}
+}
+
+// leafForCreate is leafFor, creating an empty leaf when the path runs
+// into an absent child (the octant held no points at build time).
+func (t *Tree) leafForCreate(p geom.Vec3) int32 {
+	idx := int32(0)
+	for {
+		if t.nodes[idx].leaf {
+			return idx
+		}
+		oct := t.octantOf(t.nodes[idx].box, p)
+		c := t.nodes[idx].children[oct]
+		if c < 0 {
+			c = int32(len(t.nodes))
+			nn := node{box: t.octantBox(t.nodes[idx].box, t.nodes[idx].box.Center(), oct), leaf: true}
+			for i := range nn.children {
+				nn.children[i] = -1
+			}
+			t.nodes = append(t.nodes, nn)
+			t.nodes[idx].children[oct] = c
+			return c
+		}
+		idx = c
+	}
+}
+
+// strictlyInside reports whether p lies strictly inside box (no face
+// contact on any axis).
+func strictlyInside(box geom.AABB, p geom.Vec3) bool {
+	return box.Min.X < p.X && p.X < box.Max.X &&
+		box.Min.Y < p.Y && p.Y < box.Max.Y &&
+		box.Min.Z < p.Z && p.Z < box.Max.Z
+}
+
+// octantOf mirrors the build partition predicates: bit0 = x-high, bit1 =
+// y-high, bit2 = z-high, with "low" meaning strictly below the center.
+func (t *Tree) octantOf(box geom.AABB, p geom.Vec3) int {
+	c := box.Center()
+	oct := 0
+	if !(p.X < c.X) {
+		oct |= 1
+	}
+	if !(p.Y < c.Y) {
+		oct |= 2
+	}
+	if !(p.Z < c.Z) {
+		oct |= 4
+	}
+	return oct
+}
+
+// removeFromLeaf deletes id from leaf idx's packed range or overflow
+// bucket, reporting whether it was found.
+func (t *Tree) removeFromLeaf(idx, id int32) bool {
+	n := &t.nodes[idx]
+	for i := n.start; i < n.start+n.count; i++ {
+		if t.ids[i] == id {
+			t.ids[i] = t.ids[n.start+n.count-1]
+			n.count--
+			return true
+		}
+	}
+	ex := t.leafExtra(idx)
+	for i, v := range ex {
+		if v == id {
+			ex[i] = ex[len(ex)-1]
+			t.extra[idx] = ex[:len(ex)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// removeStray deletes id from the stray list if present.
+func (t *Tree) removeStray(id int32) {
+	for i, v := range t.strays {
+		if v == id {
+			t.strays[i] = t.strays[len(t.strays)-1]
+			t.strays = t.strays[:len(t.strays)-1]
+			return
+		}
+	}
+}
+
+// addExtra appends id to leaf idx's overflow bucket, growing the bucket
+// table lazily (and past leafForCreate's node appends).
+func (t *Tree) addExtra(idx, id int32) {
+	if t.extra == nil {
+		t.extra = make([][]int32, len(t.nodes))
+	}
+	for len(t.extra) < len(t.nodes) {
+		t.extra = append(t.extra, nil)
+	}
+	t.extra[idx] = append(t.extra[idx], id)
+}
+
+// Strays returns how many points currently live outside the root box.
+func (t *Tree) Strays() int { return len(t.strays) }
+
 // NumNodes returns the number of octree nodes.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-// MemoryBytes returns the octree's footprint: the node directory plus the
-// permuted id array.
+// MemoryBytes returns the octree's footprint: the node directory, the
+// permuted id array, and any relocation buckets.
 func (t *Tree) MemoryBytes() int64 {
 	const nodeBytes = 48 + 32 + 4 + 4 + 1 + 7 // box + children + start/count + leaf + pad
-	return int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4
+	b := int64(len(t.nodes))*nodeBytes + int64(len(t.ids))*4 + int64(cap(t.strays))*4
+	for _, ex := range t.extra {
+		b += int64(cap(ex)) * 4
+	}
+	if t.extra != nil {
+		b += int64(len(t.extra)) * 24
+	}
+	return b
 }
 
 // Depth returns the maximum node depth (root = 0), for diagnostics.

@@ -144,12 +144,19 @@ func ExecuteKNNBatch(eng ParallelKNNEngine, probes []KNNQuery, workers int) [][]
 // scanning all positions, nearest first with ties broken by ascending id —
 // the ordering contract every KNNEngine must reproduce exactly.
 func BruteForceKNN(m *mesh.Mesh, p geom.Vec3, k int) []int32 {
+	return ScanKNNPositions(m.Positions(), p, k, nil)
+}
+
+// ScanKNNPositions appends the k nearest ids to p by scanning pos — the
+// kNN scan over an explicit position array, shared by BruteForceKNN and
+// the pipeline's mid-maintenance fallback.
+func ScanKNNPositions(pos []geom.Vec3, p geom.Vec3, k int, out []int32) []int32 {
 	var b KBest
 	b.Reset(k)
-	for i, q := range m.Positions() {
+	for i, q := range pos {
 		b.Offer(q.Dist2(p), int32(i))
 	}
-	return b.AppendSorted(nil)
+	return b.AppendSorted(out)
 }
 
 // kitem is one KBest candidate.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 )
 
 // DeformableMesh is the dataset surface the pipeline's writer needs: a
@@ -27,16 +28,19 @@ type DeformableMesh interface {
 	Epoch() uint64
 }
 
-// MaintenanceSerializer is implemented by engines that serialize their
-// own index maintenance against their own queries at a finer grain than
-// the pipeline's global RW lock — the shard router locks per shard. When
-// SerializesMaintenance reports true, Pipeline.Run calls Engine.Step
-// without the global lock and its query workers skip the read side, so
-// maintenance of one shard overlaps queries to the others. The optional
-// Maintain hook still takes the global lock: it mutates state the engine
-// does not guard.
-type MaintenanceSerializer interface {
-	SerializesMaintenance() bool
+// dirtyTracker is the optional dirty-recording side of a DeformableMesh;
+// both *mesh.Mesh and shard.Mesh implement it, and Run enables it so the
+// maintenance scheduler sees localized dirty regions.
+type dirtyTracker interface {
+	EnableDirtyTracking()
+}
+
+// pinnedMesh is the optional pinned-snapshot side of a DeformableMesh,
+// used by the mid-maintenance fallback scan (*mesh.Mesh implements it;
+// the sharded mesh handles its fallback inside the router instead).
+type pinnedMesh interface {
+	PinPositions() (uint64, []geom.Vec3)
+	UnpinPositions(uint64)
 }
 
 // Pipeline overlaps mesh deformation with query execution — the live mode
@@ -49,24 +53,30 @@ type MaintenanceSerializer interface {
 // pinned epoch — no matter how many steps the writer publishes while the
 // query runs.
 //
-// Index maintenance (Engine.Step and the optional Maintain hook) is the
-// one thing that still excludes queries: it mutates engine-owned state
-// the position epochs do not version. The pipeline serializes it against
-// queries with an internal RW lock — for the OCTOPUS family Step is a
-// no-op and queries never wait, while rebuild-per-step baselines stall
-// their queries for the whole rebuild, which is precisely the behavior
-// the live bench measures (latency spikes and epochs-behind staleness).
-// Engines that serialize their own maintenance at a finer grain
-// (MaintenanceSerializer — the shard router's per-shard locks) opt out of
-// the global lock, so one shard's rebuild stalls only the queries that
-// fan out to it.
+// Index maintenance is owned by a maintain.Scheduler (DESIGN.md §11):
+// after each published step the writer runs one scheduler tick, which
+// collects the mesh's dirty regions and drives each maintenance target —
+// the engine itself, or one target per shard for engines implementing
+// maintain.StateProvider, like the sharded router — through resumable
+// maintenance tasks under per-target locks. Queries take only their
+// target's read lock, so for the OCTOPUS family (nil tasks) they never
+// wait, one shard's rebuild stalls only the queries fanning out to it,
+// and with a MaintenanceBudget even a rebuild-heavy engine stalls
+// queries for at most one slice: a query that lands mid-task answers
+// from a direct scan of the pinned head positions instead of the
+// half-updated index — exact at the head epoch, never a torn mix.
+//
+// The Maintain hook runs through Scheduler.Exclusive: every target's
+// write lock, in-flight tasks completed first. That composes the hook
+// with fine-grained (per-shard) serialization instead of silently
+// disabling it, which is what the pre-scheduler pipeline did.
 type Pipeline struct {
 	// Engine answers the queries; every engine constructor in this
 	// repository returns a suitable ParallelKNNEngine.
 	Engine ParallelKNNEngine
-	// Mesh is the dataset being deformed; Run enables snapshots on it.
-	// *mesh.Mesh is the single-mesh case; shard.Mesh drives a whole
-	// partition in lockstep.
+	// Mesh is the dataset being deformed; Run enables snapshots (and
+	// dirty tracking) on it. *mesh.Mesh is the single-mesh case;
+	// shard.Mesh drives a whole partition in lockstep.
 	Mesh DeformableMesh
 	// Deform applies one simulation step's in-place update to pos (which
 	// is the back buffer, pre-loaded with the current positions). It runs
@@ -85,11 +95,37 @@ type Pipeline struct {
 	// MaxSteps, when > 0, stops the writer after that many steps even if
 	// queries are still in flight (they continue on the frozen mesh).
 	MaxSteps int
-	// Maintain, when non-nil, runs after Engine.Step each writer step,
-	// still under the maintenance write lock (no queries in flight). It
+	// Maintain, when non-nil, runs after the maintenance tick each writer
+	// step, inside Scheduler.Exclusive (every target's write lock held,
+	// no task mid-flight — no queries are in flight on any target). It
 	// is the hook for rare exclusive work — restructuring a cell and
 	// feeding the SurfaceDelta to the engine — inside a live run.
 	Maintain func(step int)
+
+	// MaintenanceBudget is the per-tick wall-clock maintenance budget.
+	// 0 (the default) runs each tick's maintenance to completion —
+	// still incremental and localized where the engine supports it, but
+	// never deferred. > 0 slices maintenance tasks at the deadline and
+	// resumes them on later ticks, bounding the maintenance-induced
+	// query stall to roughly one slice.
+	MaintenanceBudget time.Duration
+	// MonolithicMaintenance forces the legacy full-Step rebuild path,
+	// ignoring engines' localized maintenance — the baseline the
+	// maintain bench experiment sweeps budgets against.
+	MonolithicMaintenance bool
+
+	// sched is the scheduler of the most recent Run, kept for stats.
+	sched *maintain.Scheduler
+}
+
+// SchedulerStats returns the maintenance scheduler's statistics for the
+// most recent (or in-flight) Run: slices, tasks, fallback queries,
+// budget use, max staleness. The zero Stats is returned before any Run.
+func (p *Pipeline) SchedulerStats() maintain.Stats {
+	if p.sched == nil {
+		return maintain.Stats{}
+	}
+	return p.sched.Stats()
 }
 
 // QueryTrace is the per-query record of a pipeline run.
@@ -99,8 +135,9 @@ type QueryTrace struct {
 	// time, as in the paper's accounting).
 	Latency time.Duration
 	// Epoch is the position epoch the result set is consistent with: the
-	// epoch the cursor pinned, or the engine's last-maintenance epoch for
-	// engines that answer from an internal snapshot.
+	// epoch the cursor pinned, the engine's last-maintenance epoch for
+	// engines that answer from an internal snapshot, or the pinned head
+	// epoch for mid-maintenance fallback scans.
 	Epoch uint64
 	// HeadEpoch is the mesh's published epoch when the query completed.
 	HeadEpoch uint64
@@ -173,15 +210,49 @@ func StalenessStats(traces []QueryTrace) (mean float64, maxS uint64) {
 	return float64(sum) / float64(len(traces)), maxS
 }
 
-// Run executes the pipeline: it enables position snapshots on the mesh,
-// starts the writer, drains all queries through the worker pool, then
-// stops the writer (after MinSteps) and returns the report. Cursor
-// statistics are merged into the engine after the pool drains, like
-// ExecuteBatch. Run is not reentrant — one Run per Pipeline at a time —
-// but the Pipeline may be Run repeatedly; epochs continue from the
-// previous run's head.
+// maintainStates resolves the pipeline's maintenance targets: the
+// engine's own per-shard states when it is a maintain.StateProvider (the
+// sharded router — its cursors already take those states' read locks),
+// else one state wrapping the whole engine, whose read lock the
+// pipeline's workers take around every query.
+func (p *Pipeline) maintainStates() (states []*maintain.TargetState, single *maintain.TargetState) {
+	if sp, ok := p.Engine.(maintain.StateProvider); ok {
+		return sp.MaintainStates(), nil
+	}
+	dm, _ := p.Mesh.(maintain.DirtyMesh)
+	if _, ok := p.Mesh.(pinnedMesh); !ok {
+		// Budget slicing requires the fallback scan, and the fallback
+		// scan requires pinned snapshots: without them the target runs
+		// unbudgeted (a nil Mesh tells the scheduler exactly that).
+		dm = nil
+	}
+	single = maintain.NewTargetState(maintain.Target{
+		Name:   p.Engine.Name(),
+		Engine: p.Engine,
+		Mesh:   dm,
+	})
+	return []*maintain.TargetState{single}, single
+}
+
+// Run executes the pipeline: it enables position snapshots and dirty
+// tracking on the mesh, starts the writer, drains all queries through
+// the worker pool, then stops the writer (after MinSteps) and returns
+// the report. Cursor statistics are merged into the engine after the
+// pool drains, like ExecuteBatch. Run is not reentrant — one Run per
+// Pipeline at a time — but the Pipeline may be Run repeatedly; epochs
+// continue from the previous run's head.
 func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	p.Mesh.EnableSnapshots()
+	if dt, ok := p.Mesh.(dirtyTracker); ok {
+		dt.EnableDirtyTracking()
+	}
+	states, single := p.maintainStates()
+	sched := maintain.NewScheduler(states, maintain.Options{
+		Budget:     p.MaintenanceBudget,
+		Monolithic: p.MonolithicMaintenance,
+	})
+	p.sched = sched
+
 	report := &PipelineReport{
 		RangeResults: make([][]int32, len(queries)),
 		KNNResults:   make([][]int32, len(probes)),
@@ -198,16 +269,6 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 		workers = n
 	}
 
-	// maintMu serializes index maintenance (Step, Maintain) against
-	// queries. Deformation itself takes no lock: position epochs make it
-	// safe to overlap. Engines that serialize their own maintenance
-	// (MaintenanceSerializer) skip the global lock for Step — unless the
-	// Maintain hook is set, which only the global lock guards.
-	var maintMu sync.RWMutex
-	globalLock := true
-	if ms, ok := p.Engine.(MaintenanceSerializer); ok && ms.SerializesMaintenance() && p.Maintain == nil {
-		globalLock = false
-	}
 	drained := make(chan struct{})
 	writerDone := make(chan struct{})
 	steps := 0
@@ -225,15 +286,9 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 				}
 			}
 			p.Mesh.Deform(func(pos []geom.Vec3) { p.Deform(step, pos) })
-			if globalLock {
-				maintMu.Lock()
-			}
-			p.Engine.Step()
+			sched.Tick()
 			if p.Maintain != nil {
-				p.Maintain(step)
-			}
-			if globalLock {
-				maintMu.Unlock()
+				sched.Exclusive(func() { p.Maintain(step) })
 			}
 			steps = step + 1
 			if p.Tick > 0 {
@@ -251,6 +306,7 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	}()
 
 	if workers > 0 {
+		pm, _ := p.Mesh.(pinnedMesh)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		cursors := make([]Cursor, workers)
@@ -270,24 +326,48 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					if i >= total {
 						return
 					}
-					if globalLock {
-						maintMu.RLock()
-					}
+					// The timer starts before the maintenance lock is
+					// taken: waiting out a rebuild slice is charged to
+					// the query's latency, exactly as the paper charges
+					// maintenance to query response time. (The
+					// pre-scheduler pipeline started timing after the
+					// lock, silently hiding every maintenance stall from
+					// the latency distribution.)
 					t0 := time.Now()
+					fallback := false
+					if single != nil {
+						fallback = single.BeginQuery() && pm != nil
+					}
+					var trace QueryTrace
 					var res []int32
-					if i < len(queries) {
+					switch {
+					case fallback:
+						// The engine's index is mid-maintenance-slice:
+						// answer from a scan of the pinned head positions —
+						// exact at the head epoch, and typically cheaper
+						// than waiting out the rest of the task.
+						epoch, pos := pm.PinPositions()
+						if i < len(queries) {
+							res = ScanPositions(pos, queries[i], nil)
+						} else {
+							q := probes[i-len(queries)]
+							res = ScanKNNPositions(pos, q.P, q.K, nil)
+						}
+						pm.UnpinPositions(epoch)
+						trace.Epoch = epoch
+					case i < len(queries):
 						res = cur.Query(queries[i], nil)
-					} else {
+					default:
 						q := probes[i-len(queries)]
 						res = kc.KNN(q.P, q.K, nil)
 					}
-					trace := QueryTrace{Latency: time.Since(t0)}
-					if pc != nil {
+					trace.Latency = time.Since(t0)
+					if !fallback && pc != nil {
 						trace.Epoch = pc.LastEpoch()
 					}
 					trace.HeadEpoch = p.Mesh.Epoch()
-					if globalLock {
-						maintMu.RUnlock()
+					if single != nil {
+						single.EndQuery()
 					}
 					if i < len(queries) {
 						report.RangeResults[i] = res
@@ -306,6 +386,14 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	}
 	close(drained)
 	<-writerDone
+
+	// Drain any maintenance task a budget left mid-flight: Run must not
+	// return with an epoch-mixed index. A later Run builds fresh
+	// scheduler state (and a sharded router's targets persist), so an
+	// undrained task would lose its mid-task fallback protection; after
+	// the drain every engine is consistent with the head, which is also
+	// what any post-Run stop-the-world caller expects.
+	sched.Drain()
 
 	report.Steps = steps
 	report.Wall = time.Since(start)

@@ -25,14 +25,17 @@
 //     the epoch they execute against, so a query's result set equals
 //     brute force at its pinned epoch — never a torn mix of two steps.
 //     In-place mutation of Positions() remains stop-the-world.
-//   - Index maintenance still requires exclusive access: Engine.Step,
-//     restructuring, ApplySurfaceDelta and engine tuning setters mutate
-//     engine-owned state that position epochs do not version. Pipeline
-//     serializes maintenance against queries internally; outside a
-//     Pipeline the paper's strict update/monitor alternation applies.
-//     Engines that serialize their own maintenance at a finer grain
-//     (MaintenanceSerializer — the shard router's per-shard locks) are
-//     exempt from the pipeline's global lock.
+//   - Index maintenance still requires exclusion from queries on the
+//     same maintenance target: Engine.Step, restructuring,
+//     ApplySurfaceDelta and engine tuning setters mutate engine-owned
+//     state that position epochs do not version. Inside a Pipeline the
+//     maintain.Scheduler owns that exclusion with one read-write lock
+//     per target (the engine, or each shard of a sharded router) and
+//     runs maintenance as budget-sliced resumable tasks; a query landing
+//     mid-task answers from a scan of the pinned head positions instead
+//     of the half-updated index (see internal/maintain and DESIGN.md
+//     §11). Outside a Pipeline the paper's strict update/monitor
+//     alternation applies.
 //
 // ExecuteBatch packages the stop-the-world pattern (a worker pool, one
 // cursor per worker, statistics merged after the pool drains); Pipeline
@@ -147,8 +150,14 @@ func Diff(got, want []int32) string {
 
 // BruteForce returns the ground-truth result of q by scanning positions.
 func BruteForce(m *mesh.Mesh, q geom.AABB) []int32 {
-	var out []int32
-	for i, p := range m.Positions() {
+	return ScanPositions(m.Positions(), q, nil)
+}
+
+// ScanPositions appends every id whose position in pos lies in q — the
+// range scan over an explicit position array, shared by BruteForce and
+// the pipeline's mid-maintenance fallback.
+func ScanPositions(pos []geom.Vec3, q geom.AABB, out []int32) []int32 {
+	for i, p := range pos {
 		if q.Contains(p) {
 			out = append(out, int32(i))
 		}

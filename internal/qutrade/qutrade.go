@@ -11,6 +11,7 @@ package qutrade
 
 import (
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 	"octopus/internal/rtree"
@@ -115,6 +116,69 @@ func (e *Engine) Step() {
 // AnswerEpoch implements query.EpochReporter: queries answer at the state
 // captured by the last Step.
 func (e *Engine) AnswerEpoch() uint64 { return e.answerEpoch }
+
+// BeginMaintenance implements maintain.Incremental: check only the dirty
+// vertices against their grace windows — a window that still contains
+// the new position needs no tree work at all — re-inserting escapees, as
+// a resumable, budget-sliced task. The window tuning runs once at task
+// completion over the processed set (the dirty vertices are exactly the
+// step's location updates).
+func (e *Engine) BeginMaintenance(d mesh.DirtyRegion) maintain.Task {
+	head := e.m.Epoch()
+	if d.Structural || len(e.last) != e.m.NumVertices() {
+		return maintain.StepTask(e)
+	}
+	if head == e.answerEpoch && d.Empty() {
+		return nil
+	}
+	verts := maintain.NormalizeDirty(d, e.answerEpoch, head)
+	newPos := maintain.CapturePositions(e.m.Positions(), verts)
+	stepEscapes := 0
+	maxDrift := 0.0
+	return &maintain.RelocationTask{
+		Verts: verts,
+		N:     len(newPos),
+		Apply: func(i int, v int32) {
+			np := newPos[i]
+			if e.last[v] == np {
+				return
+			}
+			box, ok := e.tree.EntryBox(v)
+			if ok && box.Contains(np) {
+				e.last[v] = np
+				return
+			}
+			if ok {
+				if drift := np.Dist(box.Center()); drift > maxDrift {
+					maxDrift = drift
+				}
+				if err := e.tree.Delete(v); err != nil {
+					e.last[v] = np
+					return
+				}
+			}
+			e.tree.Insert(v, geom.BoxAround(np, e.window))
+			stepEscapes++
+			e.last[v] = np
+		},
+		Done: func() {
+			n := len(newPos)
+			e.escapes += int64(stepEscapes)
+			e.updates += int64(n)
+			rate := float64(stepEscapes) / float64(n+1)
+			if rate > TargetEscapeRate {
+				grown := e.window * 1.6
+				if byDrift := maxDrift * 1.5; byDrift > grown {
+					grown = byDrift
+				}
+				e.window = grown
+			} else if rate < TargetEscapeRate/16 {
+				e.window *= 0.95
+			}
+			e.answerEpoch = head
+		},
+	}
+}
 
 // Query implements query.Engine: grace windows over-approximate positions,
 // so candidates are filtered against the mesh's actual state.

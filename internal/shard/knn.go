@@ -46,9 +46,9 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 			break
 		}
 		r.knnScanned.Add(1)
-		r.maint[sd.s].RLock()
-		c.scanShard(sd.s, p, k)
-		r.maint[sd.s].RUnlock()
+		midTask := r.states[sd.s].BeginQuery()
+		c.scanShard(sd.s, p, k, midTask)
+		r.states[sd.s].EndQuery()
 	}
 	return c.kb.AppendSorted(out)
 }
@@ -74,17 +74,18 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 // The initial request asks for one extra candidate (k+1) so that on a
 // ghost-free, tie-free shard the horizon separates immediately and no
 // widening round is needed.
-func (c *Cursor) scanShard(s int, p geom.Vec3, k int) {
+func (c *Cursor) scanShard(s int, p geom.Vec3, k int, midTask bool) {
 	part := c.r.sm.part.Parts[s]
 	pos := part.Mesh.Positions()
 
 	// A stale shard engine (snapshot behind the published head) ranks
 	// candidates in a different metric than the head positions the
 	// router merges with, which would invalidate the completeness
-	// argument below. Offer every owned vertex directly instead — exact
-	// at the head, and only possible in the short publish-to-Step window
-	// of the live pipeline.
-	if c.r.shardStale(s) {
+	// argument below; a mid-maintenance-slice engine (midTask) must not
+	// be read at all. Offer every owned vertex directly instead — exact
+	// at the head, and possible only in the publish-to-maintenance
+	// window or between budget slices of the live pipeline.
+	if midTask || c.r.shardStale(s) {
 		for l, own := range part.Owned {
 			if own {
 				c.kb.Offer(pos[l].Dist2(p), part.ToGlobal[l])

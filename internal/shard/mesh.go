@@ -83,6 +83,18 @@ func (sm *Mesh) EnableSnapshots() {
 // SnapshotsEnabled reports whether the shard sub-meshes run double-buffered.
 func (sm *Mesh) SnapshotsEnabled() bool { return sm.snapshots }
 
+// EnableDirtyTracking switches on dirty-region recording in every shard
+// sub-mesh, so each shard's maintenance target sees exactly the local
+// dirt its engine must repair. Like the single-mesh version it implies
+// snapshots and must be called while quiescent; the pipeline does it
+// automatically.
+func (sm *Mesh) EnableDirtyTracking() {
+	sm.EnableSnapshots()
+	for _, p := range sm.part.Parts {
+		p.Mesh.EnableDirtyTracking()
+	}
+}
+
 // Epoch implements query.DeformableMesh: the number of deformation steps
 // published through Deform (0 in stop-the-world mode, like mesh.Mesh).
 func (sm *Mesh) Epoch() uint64 { return sm.epoch.Load() }

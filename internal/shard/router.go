@@ -2,10 +2,10 @@ package shard
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"octopus/internal/geom"
+	"octopus/internal/maintain"
 	"octopus/internal/mesh"
 	"octopus/internal/query"
 )
@@ -23,18 +23,21 @@ import (
 //     is pruned without being queried (ties at the bound are not pruned —
 //     an equal-distance candidate with a smaller global id still wins).
 //
-// Maintenance (Step) locks and steps one shard at a time; queries take
-// only the locks of the shards they fan out to. A rebuild-per-step inner
-// engine therefore stalls just the queries that need the shard being
-// rebuilt — on a single mesh it stalls all of them. Router implements
-// query.MaintenanceSerializer so the pipeline stands aside and lets it.
+// Each shard is one maintenance target (maintain.TargetState): queries
+// take only the read locks of the shards they fan out to, so one shard's
+// maintenance stalls just the queries that need it — on a single mesh it
+// stalls all of them. Router implements maintain.StateProvider, so a
+// Pipeline's scheduler drives the per-shard targets directly (budgeted,
+// priority-ordered, concurrently); the stop-the-world Step below remains
+// as the compatibility shim for the paper's alternating loop.
 type Router struct {
 	sm      *Mesh
 	engines []query.ParallelKNNEngine
 
-	// maint[s] serializes shard s's index maintenance against the queries
-	// fanned out to s.
-	maint []sync.RWMutex
+	// states[s] is shard s's maintenance target: its lock serializes the
+	// shard's index maintenance against the queries fanned out to it,
+	// and its counters feed the scheduler's pressure priority.
+	states []*maintain.TargetState
 
 	name     string
 	resident *Cursor
@@ -51,20 +54,27 @@ type Router struct {
 // the cross-shard router. Construction cost is the sharded equivalent of
 // single-engine preprocessing.
 func NewRouter(sm *Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Router {
-	r := &Router{
-		sm:    sm,
-		maint: make([]sync.RWMutex, sm.part.K),
-	}
+	r := &Router{sm: sm}
 	inner := "empty"
-	for _, p := range sm.part.Parts {
+	for s, p := range sm.part.Parts {
 		eng := factory(p.Mesh)
 		r.engines = append(r.engines, eng)
 		inner = eng.Name()
+		r.states = append(r.states, maintain.NewTargetState(maintain.Target{
+			Name:   fmt.Sprintf("shard-%d", s),
+			Engine: eng,
+			Mesh:   p.Mesh,
+		}))
 	}
 	r.name = fmt.Sprintf("Sharded[K=%d]·%s", sm.part.K, inner)
 	r.resident = r.newCursor()
 	return r
 }
+
+// MaintainStates implements maintain.StateProvider: one maintenance
+// target per shard. The pipeline's scheduler drives them instead of
+// wrapping the router in a single global target.
+func (r *Router) MaintainStates() []*maintain.TargetState { return r.states }
 
 // Mesh returns the sharded mesh the router executes over.
 func (r *Router) Mesh() *Mesh { return r.sm }
@@ -75,27 +85,22 @@ func (r *Router) Engines() []query.ParallelKNNEngine { return r.engines }
 // Name implements query.Engine.
 func (r *Router) Name() string { return r.name }
 
-// Step implements query.Engine: per-shard index maintenance. In
-// stop-the-world mode it first re-publishes the global mesh's current
-// positions into every sub-mesh (the paper's update/monitor alternation:
-// the simulation deformed the global mesh in place, queries are not
-// running). Then every shard engine steps under its own shard lock — in
-// pipeline mode queries to the other shards proceed meanwhile.
+// Step implements query.Engine: the monolithic per-shard maintenance
+// shim. In stop-the-world mode it first re-publishes the global mesh's
+// current positions into every sub-mesh (the paper's update/monitor
+// alternation: the simulation deformed the global mesh in place, queries
+// are not running). Then every shard engine steps under its own target's
+// write lock, discarding any maintenance task the scheduler may have
+// left in flight (the full Step supersedes it). Inside a Pipeline the
+// scheduler drives the per-shard targets itself and never calls Step.
 func (r *Router) Step() {
 	if !r.sm.snapshots {
 		r.sm.Resync()
 	}
-	for s, eng := range r.engines {
-		r.maint[s].Lock()
-		eng.Step()
-		r.maint[s].Unlock()
+	for _, ts := range r.states {
+		ts.StepMonolithic()
 	}
 }
-
-// SerializesMaintenance implements query.MaintenanceSerializer: Step
-// already excludes exactly the queries that touch the shard being
-// maintained, so the pipeline must not wrap it in the global lock.
-func (r *Router) SerializesMaintenance() bool { return true }
 
 // Query implements query.Engine through the resident cursor; like every
 // engine's resident path it is single-threaded (use cursors to go wide).
@@ -180,12 +185,12 @@ type shardDist struct {
 //
 // Every result is consistent with the head epoch (the coherence gate
 // keeps it fixed for the duration of the query): pin-per-query engines
-// read the head buffer, maintained engines whose last Step is the head
-// answer from an identical snapshot, and a shard whose engine snapshot
-// lags the head — possible only in the brief window between a publish
-// and that shard's maintenance in the pipeline — answers by a direct
-// scan of its owned positions instead, so no shard is ever skipped or
-// answered against the wrong geometry.
+// read the head buffer, maintained engines whose last maintenance is the
+// head answer from an identical snapshot, and a shard whose engine
+// either lags the head (the publish-to-maintenance window) or is
+// mid-maintenance-slice (the scheduler's budgeted tasks) answers by a
+// direct scan of its owned positions instead — the owned-scan fallback —
+// so no shard is ever skipped or answered against the wrong geometry.
 func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 	r := c.r
 	r.sm.deformMu.RLock()
@@ -198,8 +203,8 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 			continue
 		}
 		fanout++
-		r.maint[s].RLock()
-		if r.shardStale(s) {
+		midTask := r.states[s].BeginQuery()
+		if midTask || r.shardStale(s) {
 			pos := p.Mesh.Positions()
 			for l, own := range p.Owned {
 				if own && q.Contains(pos[l]) {
@@ -214,7 +219,7 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 				}
 			}
 		}
-		r.maint[s].RUnlock()
+		r.states[s].EndQuery()
 	}
 	r.rangeQueries.Add(1)
 	r.rangeFanout.Add(fanout)
@@ -223,10 +228,11 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 
 // shardStale reports whether shard s's engine answers from a snapshot
 // older than the shard mesh's published head — true only between a
-// Deform publish and the shard's Step in the live pipeline. Callers
-// must hold the shard's maintenance read lock (AnswerEpoch may only be
-// read when Step cannot run concurrently). Engines without an internal
-// snapshot pin the head per query and are never stale.
+// Deform publish and the shard's maintenance completing in the live
+// pipeline. Callers must hold the shard's maintenance read lock
+// (AnswerEpoch may only be read when maintenance cannot run
+// concurrently). Engines without an internal snapshot pin the head per
+// query and are never stale.
 func (r *Router) shardStale(s int) bool {
 	er, ok := r.engines[s].(query.EpochReporter)
 	return ok && er.AnswerEpoch() != r.sm.part.Parts[s].Mesh.Epoch()

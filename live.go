@@ -3,6 +3,7 @@ package octopus
 import (
 	"time"
 
+	"octopus/internal/maintain"
 	"octopus/internal/query"
 )
 
@@ -38,11 +39,32 @@ type DeformableMesh = query.DeformableMesh
 // per-step in-place update (it receives the back position buffer), tick
 // the minimum interval between steps (0 = continuous), workers the query
 // pool size (<= 0 = GOMAXPROCS). Tune the remaining knobs (MinSteps,
-// MaxSteps, Maintain) on the returned value before Run. m is a *Mesh or,
-// for sharded execution, the ShardedEngine's Mesh().
+// MaxSteps, Maintain, MaintenanceBudget, MonolithicMaintenance) on the
+// returned value before Run. m is a *Mesh or, for sharded execution, the
+// ShardedEngine's Mesh().
 func NewPipeline(eng ParallelKNNEngine, m DeformableMesh, deform func(step int, pos []Vec3), tick time.Duration, workers int) *Pipeline {
 	return &Pipeline{Engine: eng, Mesh: m, Deform: deform, Tick: tick, Workers: workers}
 }
+
+// Incremental maintenance (DESIGN.md §11): inside a Pipeline, index
+// maintenance runs through a pressure-aware scheduler as dirty-region
+// driven, resumable tasks — one maintenance target per engine, or per
+// shard for sharded engines. Setting Pipeline.MaintenanceBudget bounds
+// how long each tick may spend on maintenance: tasks are sliced at the
+// deadline and resumed next tick, and a query that lands mid-task
+// answers from a scan of the pinned head positions (exact at the head
+// epoch) instead of waiting out the rebuild. MonolithicMaintenance
+// restores the legacy full-rebuild-per-step behavior for comparison.
+
+// SchedulerStats is the maintenance scheduler's accounting for one
+// Pipeline run: ticks, task slices, completions, mid-maintenance
+// fallback queries, total slice time and max observed staleness.
+// Retrieve it with Pipeline.SchedulerStats after (or during) Run.
+type SchedulerStats = maintain.Stats
+
+// TargetStats is one maintenance target's share of SchedulerStats (the
+// engine itself, or one shard of a sharded engine).
+type TargetStats = maintain.TargetStats
 
 // PinnedCursor is implemented by every cursor in this package: LastEpoch
 // reports the position epoch the cursor's most recent query executed

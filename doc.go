@@ -46,14 +46,26 @@
 //	    simulate(m.Positions())              // update phase: exclusive
 //	    eng.Step()
 //	    results := octopus.ExecuteBatch(eng, queries, 0) // 0 = GOMAXPROCS
-//	    // results[i] answers queries[i]; in exact mode identical to
-//	    // serial execution
+//	    // results[i] answers queries[i]; in exact mode the same result
+//	    // set as serial execution (range order unspecified)
 //	}
 //
 // Per-worker statistics are merged into the engine when the batch
 // completes, so Stats() totals match serial execution. For hand-rolled
 // pools, ParallelEngine.NewCursor hands out the same per-goroutine
 // cursors directly.
+//
+// A single query can also go wide on its own: the crawl engines split
+// large crawls across a worker pool (SetCrawlWorkers; GOMAXPROCS by
+// default) sharing an epoch-stamped visited array — and, for kNN, an
+// atomically tightened k-best bound — with work-stealing hand-off between
+// per-worker frontiers. Parallel crawls return the same result set as
+// serial ones (bit-exact (dist,id) order for kNN). The same engines
+// accept a per-query CrawlBudget (SetCrawlBudget): a budgeted crawl stops
+// at an expansion count or wall deadline, keeps everything discovered so
+// far, and reports its coverage (visited fraction, kNN bound gap) through
+// each QueryTrace — a real latency/recall dial. Both setters mutate
+// engine state and must not run concurrently with queries.
 //
 // # Querying while the mesh deforms
 //

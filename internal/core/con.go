@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -44,6 +45,15 @@ type Con struct {
 	// (default) or read the live array under the stop-the-world contract.
 	pinning bool
 
+	// Crawl tuning and budget, mirroring Octopus (crawl tiers are engine
+	// agnostic: the crawl phase is identical between the variants).
+	crawlWorkers  int
+	denseCrawl    bool
+	crawlEscalate int
+	crawlParSeeds int
+	crawlParK     int
+	crawlBudget   query.CrawlBudget
+
 	resident *Cursor
 
 	statsMu sync.Mutex
@@ -58,9 +68,11 @@ func NewCon(m *mesh.Mesh, gridCells int) *Con {
 		gridCells = DefaultGridCells
 	}
 	c := &Con{
-		m:       m,
-		grid:    grid.Build(m, gridCells),
-		pinning: true,
+		m:            m,
+		grid:         grid.Build(m, gridCells),
+		pinning:      true,
+		crawlWorkers: runtime.GOMAXPROCS(0),
+		denseCrawl:   true,
 	}
 	count, labels := m.ConnectedComponents()
 	c.compOf = labels
@@ -94,6 +106,32 @@ func (c *Con) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 // Octopus.SetEpochPinning. Not safe concurrently with queries.
 func (c *Con) SetEpochPinning(on bool) { c.pinning = on }
 
+// SetCrawlWorkers implements query.CrawlTuner; see Octopus.SetCrawlWorkers.
+func (c *Con) SetCrawlWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.crawlWorkers = n
+}
+
+// SetCrawlBudget implements query.CrawlTuner; see Octopus.SetCrawlBudget.
+func (c *Con) SetCrawlBudget(b query.CrawlBudget) { c.crawlBudget = b }
+
+// SetDenseCrawl enables or disables the dense/parallel crawl tiers; see
+// Octopus.SetDenseCrawl.
+func (c *Con) SetDenseCrawl(on bool) { c.denseCrawl = on }
+
+// tuning snapshots the engine's crawl knobs for one query.
+func (c *Con) tuning() crawlTuning {
+	return crawlTuning{
+		workers:    c.crawlWorkers,
+		dense:      c.denseCrawl,
+		escalateAt: c.crawlEscalate,
+		parSeedMin: c.crawlParSeeds,
+		parMinK:    c.crawlParK,
+	}
+}
+
 // NewCursor implements query.ParallelEngine.
 func (c *Con) NewCursor() query.Cursor { return newCursor(c, c.m) }
 
@@ -113,6 +151,7 @@ func (c *Con) QueryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 
 func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	cur.stats.Queries++
+	cur.armCrawl(c.tuning(), c.crawlBudget)
 	before := len(out)
 	cur.beginQuery(c.m, c.pinning)
 
@@ -161,7 +200,7 @@ func (c *Con) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 func (c *Con) MemoryFootprint() int64 {
 	return c.grid.MemoryBytes() +
 		int64(len(c.compOf)+len(c.compReps))*4 +
-		c.resident.memoryBytes()
+		c.resident.MemoryBytes()
 }
 
 // GridMemoryBytes returns the stale grid's footprint alone (Figure 9(d)).

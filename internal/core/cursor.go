@@ -194,8 +194,21 @@ func (c *Cursor) takeStats() Stats {
 	return s
 }
 
-// memoryBytes reports the cursor's scratch footprint.
-func (c *Cursor) memoryBytes() int64 {
+// LastCoverage implements query.CoverageReporter: the crawl coverage of
+// the cursor's most recent Query/KNN. The engine arms a fresh coverage
+// record per query, so a budget truncation never leaks into the report of
+// a later exact query.
+func (c *Cursor) LastCoverage() query.CrawlCoverage {
+	cov := c.cov
+	cov.Visited = c.expanded
+	return cov
+}
+
+// MemoryBytes reports the cursor's full scratch footprint: the crawl
+// structures (visited set, dense mark array, walk frontier, the parallel
+// pool's per-worker frontiers and buffers), the seed buffer, the kNN
+// candidate heap and the sharded-probe buffers.
+func (c *Cursor) MemoryBytes() int64 {
 	b := c.crawler.memoryBytes() + int64(cap(c.seeds))*4 + c.kbest.MemoryBytes()
 	for _, p := range c.shardParts {
 		b += int64(cap(p)) * 4

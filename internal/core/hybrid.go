@@ -70,6 +70,18 @@ func (h *Hybrid) BeginMaintenance(mesh.DirtyRegion) maintain.Task { return nil }
 // pinned buffer. Not safe concurrently with queries.
 func (h *Hybrid) SetEpochPinning(on bool) { h.oct.SetEpochPinning(on) }
 
+// SetCrawlWorkers implements query.CrawlTuner on the OCTOPUS side (the
+// scan side has no crawl). Not safe concurrently with queries.
+func (h *Hybrid) SetCrawlWorkers(n int) { h.oct.SetCrawlWorkers(n) }
+
+// SetCrawlBudget implements query.CrawlTuner on the OCTOPUS side.
+// Scan-routed queries are always exact — the budget only applies when the
+// router picks the crawl. Not safe concurrently with queries.
+func (h *Hybrid) SetCrawlBudget(b query.CrawlBudget) { h.oct.SetCrawlBudget(b) }
+
+// SetDenseCrawl forwards to the OCTOPUS side; see Octopus.SetDenseCrawl.
+func (h *Hybrid) SetDenseCrawl(on bool) { h.oct.SetDenseCrawl(on) }
+
 // BreakEven returns the routing threshold (Equation 6).
 func (h *Hybrid) BreakEven() float64 { return h.breakEven }
 
@@ -94,6 +106,7 @@ func (h *Hybrid) route(q geom.AABB) (useScan bool) {
 // contract as hybridCursor.
 func (h *Hybrid) Query(q geom.AABB, out []int32) []int32 {
 	if h.route(q) {
+		h.oct.resident.resetCoverage() // scans are exact
 		pos := h.oct.resident.beginQuery(h.oct.m, h.oct.pinning)
 		out = h.scan.QueryAt(pos, q, out)
 		h.oct.resident.endQuery(h.oct.m)
@@ -119,6 +132,7 @@ func (h *Hybrid) NewCursor() query.Cursor {
 // batch stays consistent no matter how each query is routed.
 func (c *hybridCursor) Query(q geom.AABB, out []int32) []int32 {
 	if c.h.route(q) {
+		c.oct.resetCoverage() // scans are exact
 		pos := c.oct.beginQuery(c.h.oct.m, c.h.oct.pinning)
 		out = c.h.scan.QueryAt(pos, q, out)
 		c.oct.endQuery(c.h.oct.m)
@@ -129,6 +143,11 @@ func (c *hybridCursor) Query(q geom.AABB, out []int32) []int32 {
 
 // LastEpoch implements query.PinnedCursor.
 func (c *hybridCursor) LastEpoch() uint64 { return c.oct.LastEpoch() }
+
+// LastCoverage implements query.CoverageReporter: scan-routed queries are
+// always exact (the inner cursor's coverage is reset on that route), so
+// the report is meaningful whichever side answered.
+func (c *hybridCursor) LastCoverage() query.CrawlCoverage { return c.oct.LastCoverage() }
 
 // Close implements query.Cursor.
 func (c *hybridCursor) Close() { c.oct.Close() }

@@ -78,6 +78,16 @@ func (s *idSet) grow() {
 	}
 }
 
+// stamp writes every id of the current epoch into the dense mark array
+// (marks[id] = epoch) — the hash→dense transfer of the crawl escalation.
+func (s *idSet) stamp(marks []uint32, epoch uint32) {
+	for i, m := range s.marks {
+		if m == s.epoch {
+			marks[s.keys[i]] = epoch
+		}
+	}
+}
+
 // memoryBytes returns the set's current footprint.
 func (s *idSet) memoryBytes() int64 {
 	return int64(len(s.keys))*4 + int64(len(s.marks))*4

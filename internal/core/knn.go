@@ -44,6 +44,7 @@ func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 
 		return out
 	}
 	cur.stats.Queries++
+	cur.armCrawl(o.tuning(), o.crawlBudget)
 	before := len(out)
 
 	// Phase 1: probe the surface for the vertex closest to p. Exact mode
@@ -169,6 +170,7 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 		return out
 	}
 	cur.stats.Queries++
+	cur.armCrawl(c.tuning(), c.crawlBudget)
 	before := len(out)
 	cur.beginQuery(c.m, c.pinning)
 
@@ -208,6 +210,7 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 // selectivity the scan side's selection heap wins over crawling.
 func (h *Hybrid) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	if h.routeKNN(k) {
+		h.oct.resident.resetCoverage() // scans are exact
 		pos := h.oct.resident.beginQuery(h.oct.m, h.oct.pinning)
 		out = h.scan.KNNAt(pos, p, k, out)
 		h.oct.resident.endQuery(h.oct.m)
@@ -233,6 +236,7 @@ func (h *Hybrid) routeKNN(k int) (useScan bool) {
 // snapshot.
 func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	if c.h.routeKNN(k) {
+		c.oct.resetCoverage() // scans are exact
 		pos := c.oct.beginQuery(c.h.oct.m, c.h.oct.pinning)
 		out = c.h.scan.KNNAt(pos, p, k, out)
 		c.oct.endQuery(c.h.oct.m)
@@ -252,17 +256,32 @@ func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 // so overlapping expansions never offer a vertex twice. Vertices at
 // exactly the k-th-best distance keep expanding so id tie-breaks match
 // brute force.
+//
+// Large k routes to the parallel crawl (pcrawl.go), whose result set is
+// identical under the same reachability assumption: workers only ever
+// prune frontier entries farther than the shared bound at some instant,
+// and the bound only tightens towards its final value, so nothing within
+// the final k-th-best radius is ever pruned by either execution.
 func (c *Cursor) knnCrawl(p geom.Vec3, starts []int32) {
+	if c.tun.dense && c.tun.workers > 1 && c.kbest.K() >= c.tun.parMinK {
+		c.knnCrawlParallel(p, starts)
+		return
+	}
 	pos := c.pos
 	c.visited.reset()
 	c.heap = c.heap[:0]
 	for _, s := range starts {
 		if c.visited.add(s) {
-			c.heapPush(heapItem{dist: pos[s].Dist2(p), v: s})
+			heapPushItem(&c.heap, heapItem{dist: pos[s].Dist2(p), v: s})
 		}
 	}
 	for len(c.heap) > 0 {
-		item := c.heapPop()
+		if c.budLimit > 0 && c.expanded >= c.budLimit ||
+			c.expanded&(budgetStride-1) == 0 && c.wallExpired() {
+			c.truncateKNN()
+			return
+		}
+		item := heapPopItem(&c.heap)
 		if c.kbest.Full() && item.dist > c.kbest.Bound() {
 			return
 		}
@@ -270,13 +289,28 @@ func (c *Cursor) knnCrawl(p geom.Vec3, starts []int32) {
 			c.kbest.Offer(item.dist, item.v)
 		}
 		c.crawlVisited++
+		c.expanded++
 		for _, w := range c.m.Neighbors(item.v) {
 			if c.visited.add(w) {
 				d := pos[w].Dist2(p)
 				if !c.kbest.Full() || d <= c.kbest.Bound() {
-					c.heapPush(heapItem{dist: d, v: w})
+					heapPushItem(&c.heap, heapItem{dist: d, v: w})
 				}
 			}
 		}
 	}
+}
+
+// truncateKNN records a kNN crawl's budget cutoff in the coverage report:
+// the abandoned frontier size and the convergence gap between the closest
+// abandoned vertex and the k-th-best distance found so far.
+func (c *Cursor) truncateKNN() {
+	c.cov.Truncated = true
+	c.cov.Frontier += int64(len(c.heap))
+	if len(c.heap) > 0 {
+		if g := knnGap(c.heap[0].dist, c.kbest.Bound()); g > c.cov.BoundGap {
+			c.cov.BoundGap = g
+		}
+	}
+	c.heap = c.heap[:0]
 }

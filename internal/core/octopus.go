@@ -29,15 +29,20 @@
 // snapshot-enabled mesh, queries may also overlap mesh.Mesh.Deform: every
 // cursor pins a position epoch for the duration of each query, so result
 // sets are exact at the pinned epoch, never torn across a deformation
-// step. What is NOT safe is running queries concurrently with anything
-// that mutates the index: Step, restructuring, ApplySurfaceDelta,
-// SetApproximation and SetProbeWorkers require exclusive access (the
-// query.Pipeline serializes them against queries), as does in-place
-// mutation of Positions() on a mesh without snapshots.
+// step. A single query may additionally fan out internally — the sharded
+// surface probe and the parallel crawl (pcrawl.go) spawn short-lived
+// goroutines that share the issuing cursor's scratch, which is safe
+// because they join before the query returns. What is NOT safe is running
+// queries concurrently with anything that mutates the index: Step,
+// restructuring, ApplySurfaceDelta, SetApproximation, SetProbeWorkers,
+// SetCrawlWorkers, SetCrawlBudget and SetDenseCrawl require exclusive
+// access (the query.Pipeline serializes them against queries), as does
+// in-place mutation of Positions() on a mesh without snapshots.
 package core
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -86,6 +91,22 @@ type Octopus struct {
 	// shardThreshold vertices (ShardedProbeThreshold; lowered in tests).
 	probeWorkers   int
 	shardThreshold int
+
+	// Crawl tuning (DESIGN.md §12): crawlWorkers is the worker-pool size
+	// large crawls of a single query are split across (1 = serial);
+	// denseCrawl enables the dense/parallel crawl tiers (false restores the
+	// original hash-only crawl, the layout bench's baseline). The
+	// escalate/seed/k thresholds are zero for the package defaults and
+	// lowered by tests to exercise every tier on small meshes.
+	crawlWorkers  int
+	denseCrawl    bool
+	crawlEscalate int
+	crawlParSeeds int
+	crawlParK     int
+
+	// crawlBudget is the per-query crawl budget of the approximate mode;
+	// the zero value is exact.
+	crawlBudget query.CrawlBudget
 
 	// pinning selects how cursors view positions during a query: true (the
 	// default) pins the mesh's head epoch per query, so on a
@@ -142,6 +163,9 @@ func New(m *mesh.Mesh) *Octopus {
 		approx:         1,
 		pinning:        true,
 		shardThreshold: ShardedProbeThreshold,
+		probeWorkers:   runtime.GOMAXPROCS(0),
+		crawlWorkers:   runtime.GOMAXPROCS(0),
+		denseCrawl:     true,
 	}
 	o.resident = newCursor(o, m)
 	o.surface = m.SurfaceVertices() // ascending order: near-sequential probe
@@ -260,15 +284,55 @@ const ShardedProbeThreshold = 1 << 16
 
 // SetProbeWorkers sets how many goroutines an exact surface probe of a
 // single query is sharded across when the surface has at least
-// ShardedProbeThreshold vertices. n <= 1 restores the serial probe. The
+// ShardedProbeThreshold vertices. The default is GOMAXPROCS; n == 1
+// forces the serial probe and n <= 0 restores the GOMAXPROCS default. The
 // sharded probe visits surface slots in the same ascending order as the
 // serial one, so results are identical. Not safe concurrently with
 // queries.
 func (o *Octopus) SetProbeWorkers(n int) {
 	if n < 1 {
-		n = 1
+		n = runtime.GOMAXPROCS(0)
 	}
 	o.probeWorkers = n
+}
+
+// SetCrawlWorkers implements query.CrawlTuner: how many goroutines large
+// crawls of a single query are split across. The default is GOMAXPROCS;
+// n == 1 forces the serial crawl and n <= 0 restores the default. The
+// parallel crawl produces the same result set as the serial one (the same
+// k-best set for kNN, bit-exact in (dist,id) order); range result ORDER
+// is scheduling-dependent, which the Query contract permits. Not safe
+// concurrently with queries.
+func (o *Octopus) SetCrawlWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	o.crawlWorkers = n
+}
+
+// SetCrawlBudget implements query.CrawlTuner: the per-query crawl budget
+// of the approximate mode (DESIGN.md §12). The zero budget restores exact
+// execution. Truncated queries report how far they got through the
+// cursor's LastCoverage (surfaced as QueryTrace.Coverage by the
+// pipeline). Not safe concurrently with queries.
+func (o *Octopus) SetCrawlBudget(b query.CrawlBudget) { o.crawlBudget = b }
+
+// SetDenseCrawl enables (the default) or disables the dense-visited and
+// parallel crawl tiers; off restores the original hash-only serial crawl.
+// It exists for the layout/crawl benches' baselines and A/B tests — there
+// is no operational reason to turn the tiers off. Not safe concurrently
+// with queries.
+func (o *Octopus) SetDenseCrawl(on bool) { o.denseCrawl = on }
+
+// tuning snapshots the engine's crawl knobs for one query.
+func (o *Octopus) tuning() crawlTuning {
+	return crawlTuning{
+		workers:    o.crawlWorkers,
+		dense:      o.denseCrawl,
+		escalateAt: o.crawlEscalate,
+		parSeedMin: o.crawlParSeeds,
+		parMinK:    o.crawlParK,
+	}
 }
 
 // SurfaceSize returns the number of vertices in the surface index.
@@ -294,6 +358,7 @@ func (o *Octopus) QueryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 
 func (o *Octopus) queryWith(cur *Cursor, q geom.AABB, out []int32) []int32 {
 	cur.stats.Queries++
+	cur.armCrawl(o.tuning(), o.crawlBudget)
 	before := len(out)
 
 	// Phase 1: surface probe. The surface array is in ascending id order,
@@ -448,7 +513,7 @@ func (o *Octopus) MemoryFootprint() int64 {
 	return int64(cap(o.surface))*4 +
 		int64(len(o.surfaceSlot))*16 +
 		int64(len(o.compOf)+len(o.compReps))*4 +
-		o.resident.memoryBytes()
+		o.resident.MemoryBytes()
 }
 
 // ApplySurfaceDelta folds a restructuring delta (§IV-E2) into the surface

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// This file implements the parallel crawl tier (DESIGN.md §12): one
+// query's crawl split across a work-stealing worker pool. Both crawl
+// flavours share the pool scaffolding and the dense mark array, claimed
+// atomically so a vertex is expanded by exactly one worker:
+//
+//   - Range: each worker runs a local BFS frontier (a stack — BFS order
+//     is irrelevant to a range result) and collects the in-box vertices
+//     it expands into a private result buffer; buffers are concatenated
+//     after the join. The result SET is identical to serial (both expand
+//     exactly the vertices reachable inside the box without crossing an
+//     out-of-box vertex); the result ORDER is scheduling-dependent, which
+//     the Query contract permits.
+//   - kNN: each worker runs a local best-first frontier (a min-heap)
+//     against the shared, atomically-tightened k-best bound. The final
+//     k-best set is the k smallest (dist,id) pairs ever offered, which is
+//     independent of offer interleaving; pruning only ever discards
+//     frontier entries farther than the bound at some instant, and the
+//     bound only tightens towards its final value, so nothing inside the
+//     final k-th-best radius is pruned — the same exactness argument (and
+//     the same reachability assumption) as the serial crawl, hence
+//     bit-equal results.
+//
+// When a worker's frontier drains it steals half of a victim's frontier
+// (capped at one batch); the crawl terminates when the shared pending
+// counter — entries alive in any frontier or in-flight batch — reaches
+// zero, or a budget trips the stop flag, at which point workers hand
+// unexpanded batches back so the truncation coverage is honest.
+
+// crawlBatch is how many frontier entries a worker claims per lock
+// acquisition — large enough to amortize the mutex, small enough that
+// work-stealing keeps the pool busy near the end of a crawl.
+const crawlBatch = 32
+
+// parCrawl is a cursor's parallel-crawl scratch: worker states, prebuilt
+// goroutine closures, and the shared per-crawl state. Built lazily by the
+// first crawl that goes parallel, rebuilt when the worker count changes.
+type parCrawl struct {
+	c      *crawler
+	ws     []parWorker
+	run    []func() // prebuilt range-worker closures
+	runKNN []func() // prebuilt kNN-worker closures
+	wg     sync.WaitGroup
+
+	// Per-crawl inputs, installed before the workers start and read-only
+	// while they run.
+	q      geom.AABB          // range: the query box
+	pt     geom.Vec3          // kNN: the probe point
+	probed func(int32) bool   // kNN: vertices already offered by the probe
+	marks  []uint32           // shared visited array (atomic claims)
+	epoch  uint32             // current mark epoch
+	shared sharedKBest        // kNN: the shared result heap + bound mirror
+
+	// pending counts frontier entries alive anywhere (worker frontiers and
+	// in-flight batches); the crawl is done when it reaches zero. expanded
+	// continues the cursor's budget counter across the fork. stop is set
+	// when a budget trips; workers drain out at the next batch boundary.
+	pending  atomic.Int64
+	expanded atomic.Int64
+	stop     atomic.Bool
+	budLimit int64
+	deadline time.Time
+}
+
+// parWorker is one worker's state. The frontier (stack or heap) is
+// guarded by mu — the owner batches pops, thieves take from the same
+// structure. Everything else is owner-private scratch.
+type parWorker struct {
+	mu    sync.Mutex
+	stack []int32    // range frontier (guarded by mu)
+	heap  []heapItem // kNN frontier (guarded by mu)
+
+	out   []int32    // range: in-box vertices this worker expanded
+	buf   []int32    // range: current batch
+	pend  []int32    // range: discoveries awaiting flush to stack
+	hbuf  []heapItem // kNN: current batch (ascending — popped in order)
+	hpend []heapItem // kNN: discoveries awaiting flush to heap
+}
+
+// ensurePar returns the cursor's parallel-crawl scratch sized for the
+// given worker count, building the per-worker closures once so steady
+// state allocates nothing but the goroutines themselves.
+func (c *crawler) ensurePar(workers int) *parCrawl {
+	if c.par == nil {
+		c.par = &parCrawl{c: c}
+	}
+	p := c.par
+	if len(p.ws) != workers {
+		p.ws = make([]parWorker, workers)
+		p.run = make([]func(), workers)
+		p.runKNN = make([]func(), workers)
+		for w := range p.ws {
+			w := w
+			p.run[w] = func() { defer p.wg.Done(); p.rangeWorker(w) }
+			p.runKNN[w] = func() { defer p.wg.Done(); p.knnWorker(w) }
+		}
+	}
+	return p
+}
+
+// arm installs the shared per-crawl state common to both flavours.
+// pending is the number of frontier entries already distributed to the
+// worker frontiers; expanded continues the cursor's budget counter.
+func (p *parCrawl) arm(pending int) {
+	c := p.c
+	p.marks, p.epoch = c.marks, c.markEpoch
+	p.pending.Store(int64(pending))
+	p.expanded.Store(c.expanded)
+	p.stop.Store(false)
+	p.budLimit = c.budLimit
+	p.deadline = c.deadline
+}
+
+func (p *parCrawl) wallExpired() bool {
+	return !p.deadline.IsZero() && time.Now().After(p.deadline)
+}
+
+// claim attempts to mark vertex slot m with the crawl's epoch, reporting
+// whether this caller won. Only crawl workers write the marks while a
+// parallel crawl runs and they all write the same epoch, so a failed CAS
+// means another worker just claimed the vertex.
+func claim(m *uint32, epoch uint32) bool {
+	old := atomic.LoadUint32(m)
+	if old == epoch {
+		return false
+	}
+	return atomic.CompareAndSwapUint32(m, old, epoch)
+}
+
+// crawlParallel runs the range worker pool over the frontiers already
+// distributed (marked, deduplicated) into the worker stacks and appends
+// every in-box vertex the pool expands — plus, after a budget stop, the
+// discovered-but-unexpanded leftovers, which are results too — to out.
+func (c *crawler) crawlParallel(q geom.AABB, pending int, out []int32) []int32 {
+	p := c.par
+	if pending == 0 {
+		return out
+	}
+	p.q = q
+	p.arm(pending)
+	p.wg.Add(len(p.ws))
+	for _, run := range p.run {
+		go run()
+	}
+	p.wg.Wait()
+	if p.stop.Load() {
+		c.cov.Truncated = true
+	}
+	for i := range p.ws {
+		w := &p.ws[i]
+		out = append(out, w.out...)
+		c.crawlVisited += int64(len(w.out))
+		w.out = w.out[:0]
+		if len(w.stack) > 0 { // budget leftover: discovered, never expanded
+			c.cov.Frontier += int64(len(w.stack))
+			out = append(out, w.stack...)
+			c.crawlVisited += int64(len(w.stack))
+			w.stack = w.stack[:0]
+		}
+	}
+	c.expanded = p.expanded.Load()
+	return out
+}
+
+// rangeWorker drains its own stack in batches, expanding each in-box
+// vertex and claiming its neighbours; when the stack is empty it steals,
+// and when nothing is left anywhere it returns.
+func (p *parCrawl) rangeWorker(id int) {
+	w := &p.ws[id]
+	q := p.q
+	pos := p.c.pos
+	m := p.c.m
+	marks, epoch := p.marks, p.epoch
+	for {
+		w.mu.Lock()
+		n := len(w.stack)
+		if n > crawlBatch {
+			n = crawlBatch
+		}
+		w.buf = append(w.buf[:0], w.stack[len(w.stack)-n:]...)
+		w.stack = w.stack[:len(w.stack)-n]
+		w.mu.Unlock()
+		if n == 0 {
+			if p.stealRange(id, w) {
+				continue
+			}
+			if p.pending.Load() == 0 || p.stop.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		if p.stop.Load() {
+			// Hand the unexpanded batch back so the truncation coverage
+			// (and the kept result set) includes it.
+			w.mu.Lock()
+			w.stack = append(w.stack, w.buf...)
+			w.mu.Unlock()
+			return
+		}
+		w.pend = w.pend[:0]
+		for _, v := range w.buf {
+			w.out = append(w.out, v)
+			for _, nb := range m.Neighbors(v) {
+				if claim(&marks[nb], epoch) && q.Contains(pos[nb]) {
+					w.pend = append(w.pend, nb)
+				}
+			}
+		}
+		pushed := len(w.pend)
+		if pushed > 0 {
+			w.mu.Lock()
+			w.stack = append(w.stack, w.pend...)
+			w.mu.Unlock()
+		}
+		done := p.expanded.Add(int64(n))
+		if p.budLimit > 0 && done >= p.budLimit ||
+			done&(budgetStride-1) < int64(n) && p.wallExpired() {
+			p.stop.Store(true)
+		}
+		if p.pending.Add(int64(pushed-n)) == 0 {
+			return
+		}
+	}
+}
+
+// stealRange moves up to half a victim's stack (capped at one batch) onto
+// the thief's own stack. At most one worker mutex is held at a time, so
+// mutual steals cannot deadlock.
+func (p *parCrawl) stealRange(id int, w *parWorker) bool {
+	for i := 1; i < len(p.ws); i++ {
+		v := &p.ws[(id+i)%len(p.ws)]
+		v.mu.Lock()
+		n := len(v.stack)
+		if n == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (n + 1) / 2
+		if take > crawlBatch {
+			take = crawlBatch
+		}
+		w.buf = append(w.buf[:0], v.stack[n-take:]...)
+		v.stack = v.stack[:n-take]
+		v.mu.Unlock()
+		w.mu.Lock()
+		w.stack = append(w.stack, w.buf...)
+		w.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// sharedKBest wraps the cursor's KBest for concurrent offers: the heap
+// itself is mutex-protected, and the current bound is mirrored in an
+// atomic so the hot pre-filter (most candidates lose) never takes the
+// lock. A stale mirror is always >= the true bound — it admits extra
+// offers, never rejects a winner — and candidates at exactly the bound
+// still go through Offer for the id tie-break, so the final k-best set is
+// the true k smallest (dist,id) pairs regardless of interleaving.
+type sharedKBest struct {
+	mu   sync.Mutex
+	kb   *query.KBest
+	bits atomic.Uint64
+}
+
+func (s *sharedKBest) init(kb *query.KBest) {
+	s.kb = kb
+	s.bits.Store(math.Float64bits(kb.Bound()))
+}
+
+// bound returns the mirrored pruning radius (possibly slightly stale,
+// never tighter than the truth).
+func (s *sharedKBest) bound() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+func (s *sharedKBest) offer(d float64, id int32) {
+	if d > s.bound() {
+		return
+	}
+	s.mu.Lock()
+	s.kb.Offer(d, id)
+	s.bits.Store(math.Float64bits(s.kb.Bound()))
+	s.mu.Unlock()
+}
+
+// knnCrawlParallel is the parallel form of Cursor.knnCrawl: the starts
+// are spread across the worker heaps and the pool expands best-first
+// against the shared bound. Coverage (budget truncation) is collected
+// from the leftover frontiers after the join.
+func (c *Cursor) knnCrawlParallel(pt geom.Vec3, starts []int32) {
+	c.bumpMarks()
+	p := c.ensurePar(c.tun.workers)
+	p.pt = pt
+	p.probed = c.probedInKNN
+	p.shared.init(&c.kbest)
+	pos := c.pos
+	n := 0
+	for _, s := range starts {
+		if c.marks[s] != c.markEpoch {
+			c.marks[s] = c.markEpoch
+			w := &p.ws[n%len(p.ws)]
+			heapPushItem(&w.heap, heapItem{dist: pos[s].Dist2(pt), v: s})
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	p.arm(n)
+	p.wg.Add(len(p.ws))
+	for _, run := range p.runKNN {
+		go run()
+	}
+	p.wg.Wait()
+	if p.stop.Load() {
+		c.cov.Truncated = true
+		frontier := math.Inf(1)
+		for i := range p.ws {
+			w := &p.ws[i]
+			if len(w.heap) > 0 {
+				c.cov.Frontier += int64(len(w.heap))
+				if w.heap[0].dist < frontier {
+					frontier = w.heap[0].dist
+				}
+				w.heap = w.heap[:0]
+			}
+		}
+		if !math.IsInf(frontier, 1) {
+			if g := knnGap(frontier, c.kbest.Bound()); g > c.cov.BoundGap {
+				c.cov.BoundGap = g
+			}
+		}
+	}
+	delta := p.expanded.Load() - c.expanded
+	c.crawlVisited += delta
+	c.expanded = p.expanded.Load()
+}
+
+// knnWorker drains its own heap in ascending batches. A batch entry
+// farther than the shared bound prunes the batch remainder AND the
+// worker's whole heap: the batch was popped ascending and the heap holds
+// only entries that were already in it at pop time (neighbour discoveries
+// are flushed after the batch, and thieves only remove), so everything
+// dropped is at least as far — and the bound only tightens, so none of it
+// could ever re-enter the result. Discoveries made before the prune point
+// (which may be closer than the pruned entries) survive in hpend and are
+// flushed as usual.
+func (p *parCrawl) knnWorker(id int) {
+	w := &p.ws[id]
+	pt := p.pt
+	pos := p.c.pos
+	m := p.c.m
+	marks, epoch := p.marks, p.epoch
+	for {
+		w.mu.Lock()
+		w.hbuf = w.hbuf[:0]
+		for len(w.heap) > 0 && len(w.hbuf) < crawlBatch {
+			w.hbuf = append(w.hbuf, heapPopItem(&w.heap))
+		}
+		w.mu.Unlock()
+		n := len(w.hbuf)
+		if n == 0 {
+			if p.stealKNN(id, w) {
+				continue
+			}
+			if p.pending.Load() == 0 || p.stop.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		if p.stop.Load() {
+			w.mu.Lock()
+			for _, it := range w.hbuf {
+				heapPushItem(&w.heap, it)
+			}
+			w.mu.Unlock()
+			return
+		}
+		consumed, exp := 0, 0
+		w.hpend = w.hpend[:0]
+		for i, it := range w.hbuf {
+			if it.dist > p.shared.bound() {
+				consumed += n - i
+				w.mu.Lock()
+				consumed += len(w.heap)
+				w.heap = w.heap[:0]
+				w.mu.Unlock()
+				break
+			}
+			consumed++
+			exp++
+			if !p.probed(it.v) {
+				p.shared.offer(it.dist, it.v)
+			}
+			for _, nb := range m.Neighbors(it.v) {
+				if claim(&marks[nb], epoch) {
+					d := pos[nb].Dist2(pt)
+					if d <= p.shared.bound() {
+						w.hpend = append(w.hpend, heapItem{dist: d, v: nb})
+					}
+				}
+			}
+		}
+		pushed := len(w.hpend)
+		if pushed > 0 {
+			w.mu.Lock()
+			for _, it := range w.hpend {
+				heapPushItem(&w.heap, it)
+			}
+			w.mu.Unlock()
+		}
+		if exp > 0 {
+			done := p.expanded.Add(int64(exp))
+			if p.budLimit > 0 && done >= p.budLimit ||
+				done&(budgetStride-1) < int64(exp) && p.wallExpired() {
+				p.stop.Store(true)
+			}
+		}
+		if p.pending.Add(int64(pushed-consumed)) == 0 {
+			return
+		}
+	}
+}
+
+// stealKNN moves up to half a victim's heap (capped at one batch) into
+// the thief's heap. The victim keeps a prefix of its heap array, which is
+// still a valid heap (every retained parent/child pair is retained
+// intact); the stolen suffix is re-pushed on the thief's side so its next
+// batch still pops in ascending order.
+func (p *parCrawl) stealKNN(id int, w *parWorker) bool {
+	for i := 1; i < len(p.ws); i++ {
+		v := &p.ws[(id+i)%len(p.ws)]
+		v.mu.Lock()
+		n := len(v.heap)
+		if n == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		take := (n + 1) / 2
+		if take > crawlBatch {
+			take = crawlBatch
+		}
+		w.hbuf = append(w.hbuf[:0], v.heap[n-take:]...)
+		v.heap = v.heap[:n-take]
+		v.mu.Unlock()
+		w.mu.Lock()
+		for _, it := range w.hbuf {
+			heapPushItem(&w.heap, it)
+		}
+		w.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// memoryBytes reports the pool's per-worker scratch footprint.
+func (p *parCrawl) memoryBytes() int64 {
+	var b int64
+	for i := range p.ws {
+		w := &p.ws[i]
+		b += int64(cap(w.stack)+cap(w.out)+cap(w.buf)+cap(w.pend)) * 4
+		b += int64(cap(w.heap)+cap(w.hbuf)+cap(w.hpend)) * 16
+	}
+	return b
+}

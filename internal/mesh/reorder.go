@@ -91,6 +91,41 @@ func (m *Mesh) HilbertPerm(order uint) []int32 {
 	return permFromKeys(keys)
 }
 
+// BFSPerm returns the permutation (old → new) that orders vertices by a
+// deterministic breadth-first traversal of the mesh graph: components in
+// ascending order of their lowest vertex id, each component from that
+// vertex, neighbors in ascending id order. BFS order is the classic
+// graph-native layout baseline — vertices discovered together are stored
+// together — against which the layout ablation bench measures the
+// geometry-native Hilbert order.
+func (m *Mesh) BFSPerm() []int32 {
+	n := len(m.pos)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	next := int32(0)
+	for s := int32(0); s < int32(n); s++ {
+		if perm[s] >= 0 {
+			continue
+		}
+		perm[s] = next
+		next++
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			for _, w := range m.Neighbors(queue[head]) {
+				if perm[w] < 0 {
+					perm[w] = next
+					next++
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return perm
+}
+
 // SurfaceFirstPerm returns the permutation that stable-partitions the
 // vertices so all surface vertices come first (preserving their current
 // relative order), followed by all interior vertices.

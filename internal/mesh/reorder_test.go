@@ -1,0 +1,92 @@
+package mesh
+
+import "testing"
+
+// checkPerm verifies p is a permutation of [0, n).
+func checkPerm(t *testing.T, p []int32, n int) {
+	t.Helper()
+	if len(p) != n {
+		t.Fatalf("perm length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range p {
+		if nw < 0 || int(nw) >= n || seen[nw] {
+			t.Fatalf("perm[%d] = %d is not a bijection into [0,%d)", old, nw, n)
+		}
+		seen[nw] = true
+	}
+}
+
+// TestBFSPermIsBFSOrder checks that BFSPerm is a valid permutation whose
+// new ids follow a deterministic breadth-first discovery: the root of
+// each component gets the smallest id of the component, and every
+// vertex's BFS parent (its lowest-new-id neighbor) precedes it.
+func TestBFSPermIsBFSOrder(t *testing.T) {
+	m := buildTetGrid(t, 4, 3, 2)
+	perm := m.BFSPerm()
+	n := m.NumVertices()
+	checkPerm(t, perm, n)
+	if perm[0] != 0 {
+		t.Fatalf("perm[0] = %d, want 0 (vertex 0 is the first BFS root)", perm[0])
+	}
+	// In BFS order every non-root vertex has a neighbor with a smaller
+	// new id (its discoverer), and discovery is monotone: a vertex's
+	// lowest-new-id neighbor is discovered before any later vertex's.
+	for old := int32(0); old < int32(n); old++ {
+		if perm[old] == 0 {
+			continue
+		}
+		best := int32(n)
+		for _, w := range m.Neighbors(old) {
+			if perm[w] < best {
+				best = perm[w]
+			}
+		}
+		if best >= perm[old] {
+			t.Fatalf("vertex %d (new %d) has no earlier neighbor", old, perm[old])
+		}
+	}
+	// Determinism.
+	again := m.BFSPerm()
+	for i := range perm {
+		if perm[i] != again[i] {
+			t.Fatalf("BFSPerm not deterministic at %d", i)
+		}
+	}
+}
+
+// TestBFSPermRenumber checks that the renumbered mesh is structurally
+// the same graph: degrees and edge counts transfer through the
+// permutation.
+func TestBFSPermRenumber(t *testing.T) {
+	m := buildTetGrid(t, 3, 3, 3)
+	perm := m.BFSPerm()
+	rm, err := m.Renumber(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.NumVertices() != m.NumVertices() || rm.NumEdges() != m.NumEdges() {
+		t.Fatalf("renumbered mesh has %d vertices / %d edges, want %d / %d",
+			rm.NumVertices(), rm.NumEdges(), m.NumVertices(), m.NumEdges())
+	}
+	for old := int32(0); old < int32(m.NumVertices()); old++ {
+		if m.Degree(old) != rm.Degree(perm[old]) {
+			t.Fatalf("degree mismatch at vertex %d", old)
+		}
+		if m.Position(old) != rm.Position(perm[old]) {
+			t.Fatalf("position mismatch at vertex %d", old)
+		}
+		for _, w := range m.Neighbors(old) {
+			found := false
+			for _, rw := range rm.Neighbors(perm[old]) {
+				if rw == perm[w] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) lost in renumbering", old, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package query
+
+import "time"
+
+// CrawlBudget bounds the crawl phase of a single query — the approximate
+// mode layered on the crawl engines (DESIGN.md §12). A budgeted crawl
+// stops once it has expanded MaxVisited vertices or run for Wall, keeps
+// everything it has already discovered (a subset of the exact result for
+// range queries; the best candidates found so far for kNN), and reports
+// how far it got through CrawlCoverage. The zero value is exact: no limit.
+//
+// An ops budget (MaxVisited) is deterministic on a serial crawl — the same
+// query on the same state always truncates at the same point. A wall
+// budget, and any budget combined with parallel crawl workers, truncates
+// wherever the scheduler happened to be, so results are approximate AND
+// scheduling-dependent — the same contract as the approximate surface
+// probe.
+type CrawlBudget struct {
+	// MaxVisited bounds the number of vertices the crawl may expand per
+	// query (summed over components); 0 means unlimited. The crawl checks
+	// the bound per expansion, so the overshoot is at most one
+	// work-stealing batch in parallel mode.
+	MaxVisited int64
+	// Wall bounds the crawl's wall-clock time per query; 0 means
+	// unlimited. Checked every few dozen expansions, like the maintenance
+	// scheduler's slice deadline.
+	Wall time.Duration
+}
+
+// Unlimited reports whether the budget imposes no bound (exact mode).
+func (b CrawlBudget) Unlimited() bool { return b.MaxVisited <= 0 && b.Wall <= 0 }
+
+// CrawlCoverage reports how much of a query's crawl ran before a
+// CrawlBudget cut it off — the recall dial's readout, carried per query in
+// QueryTrace.Coverage. The zero value means "no crawl truncation" (exact
+// engines, scan-routed queries, or an unlimited budget).
+type CrawlCoverage struct {
+	// Truncated reports whether any crawl of the query hit the budget.
+	Truncated bool
+	// Visited is the number of vertices the crawl expanded.
+	Visited int64
+	// Frontier is the number of discovered-but-unexpanded vertices
+	// abandoned at the cutoff (0 when the crawl ran to completion).
+	Frontier int64
+	// BoundGap is the kNN convergence gap at the cutoff: 1 − d_f/d_k,
+	// where d_f is the distance of the closest abandoned frontier vertex
+	// and d_k the k-th-best distance found. 0 means converged (the
+	// frontier could not have improved the result); 1 means the k-best set
+	// was not even full yet. Always 0 for range queries.
+	BoundGap float64
+}
+
+// VisitedFrac returns the fraction of the reached crawl region that was
+// actually expanded: Visited / (Visited + Frontier), or 1 when nothing was
+// left behind. It is a lower bound on recall for range crawls (abandoned
+// frontier vertices were results too, and might have led to more).
+func (c CrawlCoverage) VisitedFrac() float64 {
+	total := c.Visited + c.Frontier
+	if total <= 0 {
+		return 1
+	}
+	return float64(c.Visited) / float64(total)
+}
+
+// Add accumulates o into c — the merge applied per shard by the sharded
+// router's cursor, and per component inside the crawl engines.
+func (c *CrawlCoverage) Add(o CrawlCoverage) {
+	c.Truncated = c.Truncated || o.Truncated
+	c.Visited += o.Visited
+	c.Frontier += o.Frontier
+	if o.BoundGap > c.BoundGap {
+		c.BoundGap = o.BoundGap
+	}
+}
+
+// CoverageReporter is implemented by cursors that can report the crawl
+// coverage of their most recent query — the OCTOPUS-family cursors and the
+// sharded router's (which sums its shards). The pipeline uses it to fill
+// QueryTrace.Coverage.
+type CoverageReporter interface {
+	// LastCoverage returns the coverage of the cursor's most recent
+	// Query/KNN. It is the zero CrawlCoverage when the query ran exactly.
+	LastCoverage() CrawlCoverage
+}
+
+// CrawlTuner is implemented by engines with a tunable crawl phase: the
+// OCTOPUS family and the sharded router (which forwards to its shard
+// engines). Both setters mutate engine state read by every query and are
+// not safe concurrently with queries — the same exclusion rule as
+// SetApproximation.
+type CrawlTuner interface {
+	// SetCrawlWorkers sets how many goroutines large crawls of a single
+	// query are split across. n <= 0 restores the GOMAXPROCS default;
+	// n == 1 forces the serial crawl.
+	SetCrawlWorkers(n int)
+	// SetCrawlBudget installs the per-query crawl budget; the zero budget
+	// restores exact execution.
+	SetCrawlBudget(b CrawlBudget)
+}

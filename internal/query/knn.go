@@ -199,6 +199,9 @@ func (b *KBest) Reset(k int) {
 // Len returns the number of candidates currently held.
 func (b *KBest) Len() int { return len(b.items) }
 
+// K returns the k the heap was last Reset for.
+func (b *KBest) K() int { return b.k }
+
 // Full reports whether k candidates are held, i.e. whether Bound prunes.
 func (b *KBest) Full() bool { return b.k > 0 && len(b.items) >= b.k }
 

@@ -94,8 +94,9 @@ func (c *StatelessCursor) Close() {}
 //
 // Queries are handed to workers through a shared counter, so the
 // assignment of queries to workers is nondeterministic — but each query's
-// result slice is produced by exactly one cursor and, in exact mode, is
-// identical to what serial execution would produce. In OCTOPUS's
+// result slice is produced by exactly one cursor and, in exact mode,
+// holds the same result set serial execution would produce (result order
+// is unspecified, per Engine.Query's contract). In OCTOPUS's
 // approximate mode (SetApproximation < 1) the probe's sampling phase
 // follows each cursor's query history, so approximate result sets are
 // scheduling-dependent — approximation already trades exactness away.

@@ -141,6 +141,11 @@ type QueryTrace struct {
 	Epoch uint64
 	// HeadEpoch is the mesh's published epoch when the query completed.
 	HeadEpoch uint64
+	// Coverage is the crawl coverage of the query under the engine's
+	// CrawlBudget — the zero value for exact execution, for engines
+	// without a crawl phase, and for mid-maintenance fallback scans
+	// (which are always exact).
+	Coverage CrawlCoverage
 }
 
 // Staleness returns how many epochs behind the simulation head the
@@ -364,6 +369,11 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					trace.Latency = time.Since(t0)
 					if !fallback && pc != nil {
 						trace.Epoch = pc.LastEpoch()
+					}
+					if !fallback {
+						if cr, ok := cur.(CoverageReporter); ok {
+							trace.Coverage = cr.LastCoverage()
+						}
 					}
 					trace.HeadEpoch = p.Mesh.Epoch()
 					if single != nil {

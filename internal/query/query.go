@@ -27,15 +27,24 @@
 //     In-place mutation of Positions() remains stop-the-world.
 //   - Index maintenance still requires exclusion from queries on the
 //     same maintenance target: Engine.Step, restructuring,
-//     ApplySurfaceDelta and engine tuning setters mutate engine-owned
-//     state that position epochs do not version. Inside a Pipeline the
-//     maintain.Scheduler owns that exclusion with one read-write lock
-//     per target (the engine, or each shard of a sharded router) and
-//     runs maintenance as budget-sliced resumable tasks; a query landing
-//     mid-task answers from a scan of the pinned head positions instead
-//     of the half-updated index (see internal/maintain and DESIGN.md
-//     §11). Outside a Pipeline the paper's strict update/monitor
-//     alternation applies.
+//     ApplySurfaceDelta and engine tuning setters (SetApproximation,
+//     SetProbeWorkers, SetCrawlWorkers, SetCrawlBudget, SetDenseCrawl)
+//     mutate engine-owned state that position epochs do not version.
+//     Inside a Pipeline the maintain.Scheduler owns that exclusion with
+//     one read-write lock per target (the engine, or each shard of a
+//     sharded router) and runs maintenance as budget-sliced resumable
+//     tasks; a query landing mid-task answers from a scan of the pinned
+//     head positions instead of the half-updated index (see
+//     internal/maintain and DESIGN.md §11). Outside a Pipeline the
+//     paper's strict update/monitor alternation applies.
+//   - A single query may itself fan out: engines with a sharded probe or
+//     a parallel crawl (CrawlTuner) spawn short-lived worker goroutines
+//     that share the issuing cursor's scratch and join before the query
+//     returns, so the cursor contract is unchanged — the cursor is still
+//     "one goroutine" from the caller's point of view. Parallel crawls
+//     produce the same result set as serial execution (bit-exact
+//     (dist,id) order for kNN); range result order is scheduling-
+//     dependent, which Engine.Query's contract permits.
 //
 // ExecuteBatch packages the stop-the-world pattern (a worker pool, one
 // cursor per worker, statistics merged after the pool drains); Pipeline
@@ -43,7 +52,8 @@
 //
 //	eng := core.New(m)                       // any ParallelEngine
 //	results := query.ExecuteBatch(eng, queries, runtime.GOMAXPROCS(0))
-//	// results[i] answers queries[i], identical to serial execution
+//	// results[i] answers queries[i]: the same result set as serial
+//	// execution (range order unspecified; kNN bit-identical, exact mode)
 package query
 
 import (

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// TestShardedParallelCrawlEquivalence checks that SetCrawlWorkers
+// forwarded through the router leaves results identical: per shard, the
+// inner engines run their crawls through the worker pool (the mesh is
+// large enough that big boxes cross the escalation threshold), and the
+// routed result set must match both the serial configuration and brute
+// force.
+func TestShardedParallelCrawlEquivalence(t *testing.T) {
+	m := buildBoxTet(t, 20, 1.0/20)
+	r := rand.New(rand.NewSource(21))
+	diag := m.Bounds().Size().Len()
+	for _, k := range []int{2, 4} {
+		router := routerOver(t, m, k)
+		cur := router.NewCursor()
+		for i := 0; i < 12; i++ {
+			q := geom.BoxAround(m.Position(int32(r.Intn(m.NumVertices()))), diag*(0.1+0.35*r.Float64()))
+			router.SetCrawlWorkers(1)
+			serial := cur.Query(q, nil)
+			router.SetCrawlWorkers(4)
+			par := cur.Query(q, nil)
+			if d := query.Diff(par, serial); d != "" {
+				t.Fatalf("k=%d q#%d: parallel vs serial: %s", k, i, d)
+			}
+			if d := query.Diff(append([]int32(nil), serial...), query.BruteForce(m, q)); d != "" {
+				t.Fatalf("k=%d q#%d: serial vs brute force: %s", k, i, d)
+			}
+		}
+		// kNN stays bit-identical through the router at any worker count.
+		for i := 0; i < 6; i++ {
+			p := m.Position(int32(r.Intn(m.NumVertices())))
+			kq := 300 // over the parallel-kNN threshold
+			router.SetCrawlWorkers(1)
+			serial := router.KNN(p, kq, nil)
+			router.SetCrawlWorkers(4)
+			par := router.KNN(p, kq, nil)
+			if len(serial) != len(par) {
+				t.Fatalf("k=%d probe#%d: len %d vs %d", k, i, len(serial), len(par))
+			}
+			for j := range serial {
+				if serial[j] != par[j] {
+					t.Fatalf("k=%d probe#%d slot %d: serial %d, parallel %d", k, i, j, serial[j], par[j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedParallelCrawlBudgetCoverage checks that SetCrawlBudget
+// forwarded through the router truncates per-shard crawls and that the
+// router cursor's LastCoverage accumulates the shard reports: a budgeted
+// big-box query is a subset of exact and reports Truncated.
+func TestShardedParallelCrawlBudgetCoverage(t *testing.T) {
+	m := buildBoxTet(t, 14, 1.0/14)
+	router := routerOver(t, m, 4)
+	router.SetCrawlWorkers(1)
+	cur, ok := router.NewCursor().(*Cursor)
+	if !ok {
+		t.Fatal("router cursor type")
+	}
+	q := geom.BoxAround(m.Bounds().Center(), m.Bounds().Size().Len()*0.35)
+	exact := cur.Query(q, nil)
+	if cov := cur.LastCoverage(); cov.Truncated {
+		t.Fatalf("exact query reports truncation: %+v", cov)
+	}
+	router.SetCrawlBudget(query.CrawlBudget{MaxVisited: int64(len(exact)) / 16})
+	trunc := cur.Query(q, nil)
+	cov := cur.LastCoverage()
+	if !cov.Truncated || cov.Visited <= 0 {
+		t.Fatalf("budgeted query coverage %+v", cov)
+	}
+	if len(trunc) == 0 || len(trunc) >= len(exact) {
+		t.Fatalf("truncated size %d, exact %d", len(trunc), len(exact))
+	}
+	inExact := make(map[int32]bool, len(exact))
+	for _, v := range exact {
+		inExact[v] = true
+	}
+	for _, v := range trunc {
+		if !inExact[v] {
+			t.Fatalf("truncated result %d not in exact result", v)
+		}
+	}
+	router.SetCrawlBudget(query.CrawlBudget{})
+	back := cur.Query(q, nil)
+	if d := query.Diff(back, append([]int32(nil), exact...)); d != "" {
+		t.Fatalf("zero budget not exact: %s", d)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"octopus/internal/geom"
+	"octopus/internal/query"
 )
 
 // KNN implements query.KNNCursor: best-first over shards by owned-box
@@ -18,6 +19,7 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	defer r.sm.deformMu.RUnlock()
 
 	c.epoch = r.sm.Epoch()
+	c.cov = query.CrawlCoverage{}
 	r.knnQueries.Add(1)
 	if k <= 0 || len(r.engines) == 0 {
 		return out
@@ -133,6 +135,11 @@ func (c *Cursor) scanShard(s int, p geom.Vec3, k int, midTask bool) {
 			}
 			if rounds > 0 {
 				c.r.knnWidenings.Add(int64(rounds))
+			}
+			// The round that produced the merged results is the one whose
+			// coverage describes this shard's contribution.
+			if cr, ok := c.knn[s].(query.CoverageReporter); ok {
+				c.cov.Add(cr.LastCoverage())
 			}
 			return
 		}

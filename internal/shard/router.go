@@ -131,6 +131,33 @@ func (r *Router) newCursor() *Cursor {
 	return c
 }
 
+// SetCrawlWorkers implements query.CrawlTuner by forwarding to every
+// shard engine that is itself a CrawlTuner. Shard fan-out composes with
+// intra-crawl workers: each fanned-out shard query may split its own
+// crawl across n goroutines (a single cursor queries shards sequentially,
+// so the pools never run concurrently for one query). Not safe
+// concurrently with queries.
+func (r *Router) SetCrawlWorkers(n int) {
+	for _, eng := range r.engines {
+		if ct, ok := eng.(query.CrawlTuner); ok {
+			ct.SetCrawlWorkers(n)
+		}
+	}
+}
+
+// SetCrawlBudget implements query.CrawlTuner by forwarding to every shard
+// engine that is itself a CrawlTuner. The budget applies per shard query,
+// so a range query fanned out to f shards may expand up to f×MaxVisited
+// vertices; the cursor's LastCoverage sums the per-shard reports. Not
+// safe concurrently with queries.
+func (r *Router) SetCrawlBudget(b query.CrawlBudget) {
+	for _, eng := range r.engines {
+		if ct, ok := eng.(query.CrawlTuner); ok {
+			ct.SetCrawlBudget(b)
+		}
+	}
+}
+
 // MemoryFootprint implements query.Engine: the shard engines' auxiliary
 // structures plus the sharding overhead itself — remap tables, cut-edge
 // lists, and the ghost-ring duplication of sub-mesh storage beyond the
@@ -171,6 +198,7 @@ type Cursor struct {
 	kb      query.KBest
 	order   []shardDist
 	epoch   uint64
+	cov     query.CrawlCoverage
 }
 
 // shardDist orders shards by box distance for the kNN best-first visit.
@@ -197,6 +225,7 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 	defer r.sm.deformMu.RUnlock()
 
 	c.epoch = r.sm.Epoch()
+	c.cov = query.CrawlCoverage{}
 	fanout := int64(0)
 	for s, p := range r.sm.part.Parts {
 		if !p.box.Intersects(q) {
@@ -205,6 +234,7 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 		fanout++
 		midTask := r.states[s].BeginQuery()
 		if midTask || r.shardStale(s) {
+			// The owned-scan fallback is always exact: no coverage to add.
 			pos := p.Mesh.Positions()
 			for l, own := range p.Owned {
 				if own && q.Contains(pos[l]) {
@@ -217,6 +247,9 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 				if p.Owned[l] {
 					out = append(out, p.ToGlobal[l])
 				}
+			}
+			if cr, ok := c.curs[s].(query.CoverageReporter); ok {
+				c.cov.Add(cr.LastCoverage())
 			}
 		}
 		r.states[s].EndQuery()
@@ -240,6 +273,12 @@ func (r *Router) shardStale(s int) bool {
 
 // LastEpoch implements query.PinnedCursor.
 func (c *Cursor) LastEpoch() uint64 { return c.epoch }
+
+// LastCoverage implements query.CoverageReporter: the summed crawl
+// coverage of the shards the cursor's most recent query fanned out to
+// (Truncated is the OR, BoundGap the max). Owned-scan fallbacks are exact
+// and contribute nothing.
+func (c *Cursor) LastCoverage() query.CrawlCoverage { return c.cov }
 
 // Close implements query.Cursor: close every shard cursor, folding their
 // statistics into the shard engines.

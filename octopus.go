@@ -89,11 +89,12 @@ type ParallelKNNEngine = query.ParallelKNNEngine
 type EngineCursor = core.Cursor
 
 // ExecuteBatch executes queries on eng with a pool of workers (one cursor
-// each) and returns one result slice per query, identical to serial
-// execution (in exact mode; approximate OCTOPUS results are
-// scheduling-dependent). workers <= 0 uses GOMAXPROCS. It must not run concurrently
-// with Step, deformation or restructuring — parallelism applies within
-// the monitoring phase, not across the simulation's update/monitor
+// each) and returns one result slice per query. In exact mode each result
+// SET equals serial execution's (result order is unspecified, as for all
+// range queries; approximate OCTOPUS results are scheduling-dependent).
+// workers <= 0 uses GOMAXPROCS. It must not run concurrently with Step,
+// deformation or restructuring — parallelism applies within the
+// monitoring phase, not across the simulation's update/monitor
 // alternation.
 func ExecuteBatch(eng ParallelEngine, queries []AABB, workers int) [][]int32 {
 	return query.ExecuteBatch(eng, queries, workers)
@@ -101,12 +102,31 @@ func ExecuteBatch(eng ParallelEngine, queries []AABB, workers int) [][]int32 {
 
 // ExecuteKNNBatch executes kNN probes on eng with a pool of workers (one
 // cursor each) and returns one result slice per probe, nearest first,
-// identical to serial execution. workers <= 0 uses GOMAXPROCS. The same
-// exclusion rule as ExecuteBatch applies: no Step, deformation or
-// restructuring may overlap the batch.
+// bit-identical to serial execution in exact mode. workers <= 0 uses
+// GOMAXPROCS. The same exclusion rule as ExecuteBatch applies: no Step,
+// deformation or restructuring may overlap the batch.
 func ExecuteKNNBatch(eng ParallelKNNEngine, probes []KNNQuery, workers int) [][]int32 {
 	return query.ExecuteKNNBatch(eng, probes, workers)
 }
+
+// CrawlBudget bounds the crawl phase of a single query — the approximate
+// mode of the crawl engines: a budgeted crawl stops at MaxVisited
+// expansions or after Wall, keeps everything discovered so far, and
+// reports its coverage per query. Install it with SetCrawlBudget on
+// Octopus, Con, Hybrid or ShardedEngine; the zero value is exact.
+type CrawlBudget = query.CrawlBudget
+
+// CrawlCoverage reports how much of a query's crawl ran before the budget
+// cut it off — visited/frontier counts and the kNN bound gap. It is
+// carried per query in QueryTrace.Coverage.
+type CrawlCoverage = query.CrawlCoverage
+
+// CrawlTuner is implemented by the crawl engines (Octopus, Con, Hybrid,
+// ShardedEngine): SetCrawlWorkers splits large crawls of a single query
+// across a worker pool (default GOMAXPROCS; 1 = serial, same result
+// sets), SetCrawlBudget installs the approximate mode. Neither is safe
+// concurrently with queries.
+type CrawlTuner = query.CrawlTuner
 
 // Octopus is the paper's general engine (non-convex-safe).
 type Octopus = core.Octopus

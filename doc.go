@@ -156,10 +156,20 @@
 // router is a drop-in ParallelKNNEngine; handing its Mesh() to
 // NewPipeline runs the live pipeline over the whole partition with
 // lockstep epochs and per-shard maintenance (one shard's rebuild stalls
-// only the queries that fan out to it). Restructuring the global mesh
-// after partitioning is not supported (the sharded mesh panics rather
-// than silently dropping the new vertices — rebuild the partition).
-// See DESIGN.md §10.
+// only the queries that fan out to it).
+//
+// The partition is live: restructuring the global mesh (SplitCell,
+// DeleteCell) re-partitions incrementally at the next publish — only the
+// vertices of dirty cells are re-keyed, the Hilbert cut points shift
+// within a balance tolerance, and only the shards whose ownership
+// actually changed are rebuilt; untouched shards keep their sub-meshes
+// and engines. Rebuilt shards answer exactly through the owned-scan
+// fallback until their budgeted rebuild tasks complete, so queries never
+// block on a migration and never see a torn partition
+// (ShardedMesh.RepartitionStats reports the migration volume). A
+// pressure-driven balancer (ShardedEngine.SetPressurePolicy) uses the
+// same machinery to shift boundaries away from query-hot shards.
+// See DESIGN.md §10 and §13.
 //
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the

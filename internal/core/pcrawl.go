@@ -56,12 +56,12 @@ type parCrawl struct {
 
 	// Per-crawl inputs, installed before the workers start and read-only
 	// while they run.
-	q      geom.AABB          // range: the query box
-	pt     geom.Vec3          // kNN: the probe point
-	probed func(int32) bool   // kNN: vertices already offered by the probe
-	marks  []uint32           // shared visited array (atomic claims)
-	epoch  uint32             // current mark epoch
-	shared sharedKBest        // kNN: the shared result heap + bound mirror
+	q      geom.AABB        // range: the query box
+	pt     geom.Vec3        // kNN: the probe point
+	probed func(int32) bool // kNN: vertices already offered by the probe
+	marks  []uint32         // shared visited array (atomic claims)
+	epoch  uint32           // current mark epoch
+	shared sharedKBest      // kNN: the shared result heap + bound mirror
 
 	// pending counts frontier entries alive anywhere (worker frontiers and
 	// in-flight batches); the crawl is done when it reaches zero. expanded

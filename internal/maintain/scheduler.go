@@ -39,11 +39,21 @@ type Options struct {
 type Scheduler struct {
 	states []*TargetState
 	opt    Options
-	// base holds each target's counter values at scheduler construction:
-	// target states may outlive one scheduler (the sharded router keeps
-	// its per-shard states across pipeline runs), so Stats reports
-	// deltas against this baseline to stay per-run.
-	base []TargetStats
+	// base holds each target's counter values at registration: target
+	// states may outlive one scheduler (the sharded router keeps its
+	// per-shard states across pipeline runs), so Stats reports deltas
+	// against this baseline to stay per-run. Keyed by state identity —
+	// re-partitioning replaces targets mid-run, so positions are not
+	// stable.
+	base map[*TargetState]TargetStats
+	// retired accumulates the per-run activity of removed targets, so
+	// aggregate stats stay continuous across a target-set swap.
+	retired TargetStats
+
+	// mu guards states/base/retired mutation against concurrent Stats
+	// readers. Tick, Exclusive, Drain and the target-set mutators all run
+	// on the writer goroutine and need no lock among themselves.
+	mu sync.Mutex
 
 	ticks      atomic.Int64
 	exclusives atomic.Int64
@@ -52,15 +62,83 @@ type Scheduler struct {
 
 // NewScheduler builds a scheduler over the given target states.
 func NewScheduler(states []*TargetState, opt Options) *Scheduler {
-	s := &Scheduler{states: states, opt: opt}
+	s := &Scheduler{opt: opt, base: make(map[*TargetState]TargetStats)}
 	for _, ts := range states {
-		s.base = append(s.base, ts.stats())
+		s.states = append(s.states, ts)
+		s.base[ts] = ts.stats()
 	}
 	return s
 }
 
 // Targets returns the scheduled target states, in registration order.
 func (s *Scheduler) Targets() []*TargetState { return s.states }
+
+// AddTarget registers a target mid-run; idempotent. Writer goroutine
+// only, like Tick.
+func (s *Scheduler) AddTarget(ts *TargetState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(ts)
+}
+
+// RemoveTarget unregisters a target mid-run, folding its per-run
+// activity into the retired accumulator so aggregate stats never go
+// backwards across a shard-set swap. Writer goroutine only.
+func (s *Scheduler) RemoveTarget(ts *TargetState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(ts)
+}
+
+// SyncTargets reconciles the scheduled set with want (the engine's
+// current MaintainStates): stale targets are retired, new ones
+// registered. The pipeline calls it after every step so a re-partition's
+// replacement targets run under the budget from the very next tick.
+// Writer goroutine only.
+func (s *Scheduler) SyncTargets(want []*TargetState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := make(map[*TargetState]bool, len(want))
+	for _, ts := range want {
+		keep[ts] = true
+	}
+	for i := len(s.states) - 1; i >= 0; i-- {
+		if !keep[s.states[i]] {
+			s.removeLocked(s.states[i])
+		}
+	}
+	for _, ts := range want {
+		s.addLocked(ts)
+	}
+}
+
+func (s *Scheduler) addLocked(ts *TargetState) {
+	if _, ok := s.base[ts]; ok {
+		return
+	}
+	s.states = append(s.states, ts)
+	s.base[ts] = ts.stats()
+}
+
+func (s *Scheduler) removeLocked(ts *TargetState) {
+	b, ok := s.base[ts]
+	if !ok {
+		return
+	}
+	delete(s.base, ts)
+	for i, x := range s.states {
+		if x == ts {
+			s.states = append(s.states[:i], s.states[i+1:]...)
+			break
+		}
+	}
+	t := ts.stats()
+	s.retired.SlicesRun += t.SlicesRun - b.SlicesRun
+	s.retired.TasksStarted += t.TasksStarted - b.TasksStarted
+	s.retired.TasksCompleted += t.TasksCompleted - b.TasksCompleted
+	s.retired.FallbackQueries += t.FallbackQueries - b.FallbackQueries
+	s.retired.SliceTime += t.SliceTime - b.SliceTime
+}
 
 // Tick runs one maintenance round. It must be called from the writer
 // goroutine (the same one publishing deformation steps): dirty
@@ -200,17 +278,27 @@ func (s Stats) BudgetUtilization(budget time.Duration) float64 {
 	return float64(s.SliceTime) / float64(budget*time.Duration(s.Ticks))
 }
 
-// Stats snapshots the scheduler's counters.
+// Stats snapshots the scheduler's counters. Aggregates include the
+// activity of targets retired mid-run (shard migrations replace target
+// identities), so totals are continuous across target-set swaps;
+// PerTarget lists only the currently registered targets.
 func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := Stats{
 		Targets:       len(s.states),
 		Ticks:         s.ticks.Load(),
 		ExclusiveRuns: s.exclusives.Load(),
 		MaxStaleness:  s.maxStale.Load(),
 	}
-	for i, ts := range s.states {
+	out.SlicesRun += s.retired.SlicesRun
+	out.TasksStarted += s.retired.TasksStarted
+	out.TasksCompleted += s.retired.TasksCompleted
+	out.FallbackQueries += s.retired.FallbackQueries
+	out.SliceTime += s.retired.SliceTime
+	for _, ts := range s.states {
 		t := ts.stats()
-		b := s.base[i]
+		b := s.base[ts]
 		t.SlicesRun -= b.SlicesRun
 		t.TasksStarted -= b.TasksStarted
 		t.TasksCompleted -= b.TasksCompleted

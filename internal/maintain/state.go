@@ -29,6 +29,11 @@ type TargetState struct {
 	havePending  bool
 	task         Task // in-flight task, nil when none
 	inconsistent bool // mid-task: queries must use the fallback
+	// sticky marks a task that must not be discarded by StepMonolithic:
+	// a migration rebuild's engine does not exist until the task runs,
+	// and the engine it replaces fronts a sub-mesh this target no longer
+	// serves (see NewRebuildState).
+	sticky bool
 
 	// Pressure: queries observed since the last tick, decayed into an
 	// EMA at collect time (FanoutStats-style atomic counters — the
@@ -58,8 +63,55 @@ func NewTargetState(t Target) *TargetState {
 	return ts
 }
 
+// NewRebuildState wraps a target whose engine does not exist yet: a
+// pre-installed sticky task constructs it via build on first run. Until
+// then the target reports inconsistent, so every query answers through
+// the pinned-head position-scan fallback — exact, just index-less. The
+// sharded router uses this to model a shard migration: the re-partition
+// swap installs a rebuild state per touched shard, and the engine
+// construction runs under the scheduler's wall budget like any other
+// maintenance task (engine construction is one indivisible slice, like a
+// monolithic StepTask; the budget spreads a multi-shard migration across
+// ticks, highest-pressure shards first).
+func NewRebuildState(name string, m DirtyMesh, build func() Stepper) *TargetState {
+	ts := &TargetState{t: Target{Name: name, Mesh: m}}
+	ts.inconsistent = true
+	ts.sticky = true
+	ts.task = &rebuildTask{ts: ts, build: build}
+	ts.started.Add(1)
+	return ts
+}
+
+// rebuildTask constructs a target's engine and rewires the state's
+// capability interfaces to it. It always runs under the state's write
+// lock (runSlice, drainLocked or StepMonolithic), which makes the field
+// writes safe.
+type rebuildTask struct {
+	ts    *TargetState
+	build func() Stepper
+}
+
+func (t *rebuildTask) Run(time.Duration) bool {
+	e := t.build()
+	t.ts.t.Engine = e
+	t.ts.inc, _ = e.(Incremental)
+	t.ts.rep, _ = e.(EpochReporter)
+	t.ts.sticky = false
+	return true
+}
+
 // Name returns the target's label.
 func (ts *TargetState) Name() string { return ts.t.Name }
+
+// PressureEMA returns the target's decayed query-pressure average as of
+// the last collect. Writer goroutine only (the same one calling Tick) —
+// the pressure-driven shard balancer reads it from the post-tick hook.
+func (ts *TargetState) PressureEMA() int64 { return ts.ema }
+
+// SeedPressure initializes the pressure EMA — a replacement target
+// (shard migration) inherits its predecessor's, so a hot shard's rebuild
+// keeps its scheduling priority. Writer goroutine only, like PressureEMA.
+func (ts *TargetState) SeedPressure(ema int64) { ts.ema = ema }
 
 // BeginQuery enters a query against this target: it counts pressure,
 // takes the maintenance read lock, and reports whether the target's
@@ -87,6 +139,26 @@ func (ts *TargetState) EndQuery() { ts.mu.RUnlock() }
 func (ts *TargetState) StepMonolithic() {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	if ts.task != nil && ts.sticky {
+		// A rebuild task cannot be discarded — the engine it constructs
+		// does not exist yet. Run it to completion; the freshly built
+		// engine is consistent with the current positions by
+		// construction, so the monolithic Step below would only redo its
+		// work.
+		t0 := time.Now()
+		ts.task.Run(0)
+		ts.sliceNanos.Add(time.Since(t0).Nanoseconds())
+		ts.slices.Add(1)
+		ts.completed.Add(1)
+		ts.task = nil
+		ts.inconsistent = false
+		ts.pending = mesh.DirtyRegion{}
+		ts.havePending = false
+		if ts.t.Mesh != nil {
+			ts.t.Mesh.TakeDirty()
+		}
+		return
+	}
 	ts.task = nil
 	ts.inconsistent = false
 	ts.pending = mesh.DirtyRegion{}

@@ -39,8 +39,18 @@ type DirtyRegion struct {
 	// engines must take their full-rebuild path.
 	Structural bool
 	// Cells lists the ids of the cells touched by restructuring since the
-	// last consume — the dirty-cell set of the structural path.
+	// last consume — the dirty-cell set of the structural path. A split
+	// records both the retired cell and its replacement cells, a delete
+	// records the dead cell, so a consumer holds the exact cell set whose
+	// membership changed (re-partitioning keys precisely these; dead cells
+	// must be filtered by the consumer). Sorted and deduplicated on
+	// consume.
 	Cells []int32
+	// AddedVerts lists the ids of vertices created by restructuring
+	// (SplitCell centroids) since the last consume, sorted on consume.
+	// They are never listed in Verts — they did not move, they appeared —
+	// and a re-partitioner must assign them an owner.
+	AddedVerts []int32
 	// From and To delimit the position epochs the region covers:
 	// everything that changed publishing epochs (From, To].
 	From, To uint64
@@ -63,6 +73,7 @@ func (d *DirtyRegion) Merge(o DirtyRegion) {
 		d.Structural = true
 	}
 	d.Cells = append(d.Cells, o.Cells...)
+	d.AddedVerts = append(d.AddedVerts, o.AddedVerts...)
 	if o.Overflow {
 		d.Overflow = true
 		d.Verts = nil
@@ -147,6 +158,8 @@ func (m *Mesh) TakeDirty() DirtyRegion {
 	d := m.dirty
 	d.To = head
 	sort.Slice(d.Verts, func(i, j int) bool { return d.Verts[i] < d.Verts[j] })
+	d.Cells = sortDedupInt32(d.Cells)
+	sort.Slice(d.AddedVerts, func(i, j int) bool { return d.AddedVerts[i] < d.AddedVerts[j] })
 	m.dirty = DirtyRegion{Box: geom.EmptyBox(), From: head, To: head}
 	m.dirtyStamp++
 	m.dirtyFrom = head
@@ -178,14 +191,38 @@ func (m *Mesh) recordDeformDirty(old, now []geom.Vec3) {
 	}
 }
 
-// recordStructuralDirty marks a restructuring operation on cell ci.
-func (m *Mesh) recordStructuralDirty(ci int32, touched geom.AABB) {
+// recordStructuralDirty marks a restructuring operation covering the
+// given cells (the retired cell plus any replacements).
+func (m *Mesh) recordStructuralDirty(touched geom.AABB, cells ...int32) {
 	if !m.dirtyOn {
 		return
 	}
 	m.dirty.Structural = true
-	m.dirty.Cells = append(m.dirty.Cells, ci)
+	m.dirty.Cells = append(m.dirty.Cells, cells...)
 	m.dirty.Box = m.dirty.Box.Union(touched)
+}
+
+// recordAddedVert marks a vertex created by restructuring.
+func (m *Mesh) recordAddedVert(v int32) {
+	if !m.dirtyOn {
+		return
+	}
+	m.dirty.AddedVerts = append(m.dirty.AddedVerts, v)
+}
+
+// sortDedupInt32 sorts s ascending and drops duplicates in place.
+func sortDedupInt32(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // cellBox returns the AABB of cell ci's vertices at the current epoch.

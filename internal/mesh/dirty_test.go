@@ -126,15 +126,26 @@ func TestDirtyTrackingStructural(t *testing.T) {
 	m := dirtyTestMesh(t)
 	m.EnableRestructuring()
 	m.EnableDirtyTracking()
-	if _, _, err := m.SplitCell(0); err != nil {
+	base := int32(len(m.Cells()))
+	x, _, err := m.SplitCell(0)
+	if err != nil {
 		t.Fatal(err)
 	}
 	d := m.TakeDirty()
 	if !d.Structural {
 		t.Fatal("SplitCell must mark the region structural")
 	}
-	if len(d.Cells) != 1 || d.Cells[0] != 0 {
-		t.Fatalf("dirty cells = %v, want [0]", d.Cells)
+	want := []int32{0, base, base + 1, base + 2, base + 3}
+	if len(d.Cells) != len(want) {
+		t.Fatalf("dirty cells = %v, want %v (old cell + 4 replacements)", d.Cells, want)
+	}
+	for i := range want {
+		if d.Cells[i] != want[i] {
+			t.Fatalf("dirty cells = %v, want %v", d.Cells, want)
+		}
+	}
+	if len(d.AddedVerts) != 1 || d.AddedVerts[0] != x {
+		t.Fatalf("added verts = %v, want [%d]", d.AddedVerts, x)
 	}
 	// The mark array must have grown with the new vertex: a later deform
 	// of the new vertex must track without panicking.

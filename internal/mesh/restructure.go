@@ -166,7 +166,8 @@ func (m *Mesh) SplitCell(ci int) (newVertex int32, delta SurfaceDelta, err error
 		m.patched[v] = upd
 	}
 
-	m.recordStructuralDirty(int32(ci), m.cellBox(ci))
+	m.recordStructuralDirty(m.cellBox(ci), int32(ci), base, base+1, base+2, base+3)
+	m.recordAddedVert(x)
 	return x, SurfaceDelta{}, nil
 }
 
@@ -224,7 +225,7 @@ func (m *Mesh) DeleteCell(ci int) (SurfaceDelta, error) {
 	}
 	sortInt32(delta.Added)
 	sortInt32(delta.Removed)
-	m.recordStructuralDirty(int32(ci), m.cellBox(ci))
+	m.recordStructuralDirty(m.cellBox(ci), int32(ci))
 	return delta, nil
 }
 

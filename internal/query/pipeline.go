@@ -35,6 +35,16 @@ type dirtyTracker interface {
 	EnableDirtyTracking()
 }
 
+// PostTicker is the optional self-tuning hook of an engine: the
+// pipeline's writer calls PostTick after every maintenance tick, once
+// the scheduler has collected each target's query-pressure sample. The
+// sharded router uses it for pressure-driven shard rebalancing — it may
+// re-partition the mesh under the coherence gate, so the pipeline
+// re-syncs the scheduler's target set right after the call.
+type PostTicker interface {
+	PostTick()
+}
+
 // pinnedMesh is the optional pinned-snapshot side of a DeformableMesh,
 // used by the mid-maintenance fallback scan (*mesh.Mesh implements it;
 // the sharded mesh handles its fallback inside the router instead).
@@ -258,6 +268,19 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	})
 	p.sched = sched
 
+	// Live re-partitioning (a structural Deform, or the router's pressure
+	// balancer in PostTick) replaces a StateProvider's per-shard targets;
+	// syncTargets reconciles the scheduler's set so replacement targets
+	// run their rebuild tasks under the budget from the very next tick.
+	// Called only where the writer is quiescent with respect to targets.
+	sp, _ := p.Engine.(maintain.StateProvider)
+	syncTargets := func() {
+		if sp != nil {
+			sched.SyncTargets(sp.MaintainStates())
+		}
+	}
+	pt, _ := p.Engine.(PostTicker)
+
 	report := &PipelineReport{
 		RangeResults: make([][]int32, len(queries)),
 		KNNResults:   make([][]int32, len(probes)),
@@ -291,7 +314,12 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 				}
 			}
 			p.Mesh.Deform(func(pos []geom.Vec3) { p.Deform(step, pos) })
+			syncTargets()
 			sched.Tick()
+			if pt != nil {
+				pt.PostTick()
+				syncTargets()
+			}
 			if p.Maintain != nil {
 				sched.Exclusive(func() { p.Maintain(step) })
 			}
@@ -402,7 +430,11 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	// scheduler state (and a sharded router's targets persist), so an
 	// undrained task would lose its mid-task fallback protection; after
 	// the drain every engine is consistent with the head, which is also
-	// what any post-Run stop-the-world caller expects.
+	// what any post-Run stop-the-world caller expects. Sync first: the
+	// writer's final step may have swapped targets after its last sync,
+	// and the drain must cover the replacements (the writer has exited,
+	// so this goroutine is the sole target mutator now).
+	syncTargets()
 	sched.Drain()
 
 	report.Steps = steps

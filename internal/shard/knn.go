@@ -96,6 +96,7 @@ func (c *Cursor) scanShard(s int, p geom.Vec3, k int, midTask bool) {
 		return
 	}
 
+	c.refresh(s)
 	subV := part.Mesh.NumVertices()
 	want := k
 	if part.NumOwned < want {

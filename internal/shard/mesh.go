@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -25,18 +26,61 @@ import (
 // one consistent global step. Index maintenance is NOT under this gate —
 // Router.Step serializes per shard, which is the point of sharding: one
 // shard's rebuild blocks only the queries that need that shard.
+//
+// The partition is live (DESIGN.md §13): restructuring the global mesh
+// after partitioning no longer panics. Deform and Resync detect pending
+// structural dirt (or, with dirty tracking off, a grown vertex count) and
+// re-partition incrementally under the same write gate before publishing,
+// so the remap tables and the K sub-meshes swap atomically with respect
+// to queries and no query ever observes mixed partition generations.
 type Mesh struct {
 	global *mesh.Mesh
 	part   *Partition
 
-	// deformMu is the cross-shard coherence gate: Deform writes, router
-	// queries read.
+	// deformMu is the cross-shard coherence gate: Deform (and partition
+	// swaps) write, router queries read.
 	deformMu sync.RWMutex
 
 	// epoch counts published global deformation steps; after each step
 	// every shard sub-mesh is at this epoch.
 	epoch     atomic.Uint64
 	snapshots bool
+	dirty     bool
+
+	// onRepartition, when set (the Router installs it), is called with
+	// the rebuilt shard indices immediately after a partition swap, under
+	// the same exclusion as the swap itself.
+	onRepartition func(touched []int)
+
+	stats RepartitionStats // guarded by deformMu
+}
+
+// RepartitionStats accumulates what live re-partitioning has done to a
+// sharded mesh since construction.
+type RepartitionStats struct {
+	// Generations counts partition swaps (incremental or full).
+	Generations int
+	// FullRebuilds counts swaps that fell back to a from-scratch
+	// re-partition (restructuring without dirty tracking).
+	FullRebuilds int
+	// PressureRebalances counts swaps triggered by query pressure rather
+	// than structural change.
+	PressureRebalances int
+	// BoundaryShifts totals cut points moved to rebalance owned counts.
+	BoundaryShifts int
+	// MigratedVerts and MigratedCells total vertices/cells that changed
+	// owner across all swaps; TotalCellsSeen totals the live cell counts
+	// at each swap, so MigratedCells/TotalCellsSeen is the mean migrated
+	// fraction.
+	MigratedVerts  int
+	MigratedCells  int
+	TotalCellsSeen int
+	// RebuiltShards totals shards rebuilt across all swaps (out of
+	// Generations x K possible).
+	RebuiltShards int
+	// ImbalanceBefore and ImbalanceAfter are the owned-count imbalance
+	// (max/mean) around the most recent swap.
+	ImbalanceBefore, ImbalanceAfter float64
 }
 
 // NewMesh partitions m into k Hilbert shards and returns the sharded
@@ -44,11 +88,11 @@ type Mesh struct {
 // positions may keep being driven by a sim.Simulation in stop-the-world
 // mode, or through Mesh.Deform in live mode.
 //
-// The partition snapshots the global mesh's connectivity: restructuring
-// the global mesh afterwards (SplitCell, DeleteCell) is not supported —
-// the remap tables would go stale and new vertices would silently never
-// reach any shard, so Deform and Resync panic if the vertex count has
-// changed. Partition first, restructure per shard (if at all) later.
+// The global mesh may be restructured (SplitCell, DeleteCell) after
+// partitioning: the next Deform or Resync re-partitions incrementally —
+// with dirty tracking on it re-keys only the dirty cells' vertices and
+// rebuilds only the shards whose owned set changed; without tracking a
+// vertex-count change forces a full re-partition. See RepartitionStats.
 func NewMesh(m *mesh.Mesh, k int, opts Options) (*Mesh, error) {
 	part, err := NewPartition(m, k, opts)
 	if err != nil {
@@ -65,6 +109,15 @@ func (sm *Mesh) Partition() *Partition { return sm.part }
 
 // K returns the number of shards.
 func (sm *Mesh) K() int { return sm.part.K }
+
+// RepartitionStats returns the accumulated live re-partitioning
+// statistics. Safe to call concurrently with queries; it serializes with
+// Deform.
+func (sm *Mesh) RepartitionStats() RepartitionStats {
+	sm.deformMu.RLock()
+	defer sm.deformMu.RUnlock()
+	return sm.stats
+}
 
 // EnableSnapshots implements query.DeformableMesh: it switches every shard
 // sub-mesh to the double-buffered position store so Deform may overlap
@@ -85,14 +138,18 @@ func (sm *Mesh) SnapshotsEnabled() bool { return sm.snapshots }
 
 // EnableDirtyTracking switches on dirty-region recording in every shard
 // sub-mesh, so each shard's maintenance target sees exactly the local
-// dirt its engine must repair. Like the single-mesh version it implies
-// snapshots and must be called while quiescent; the pipeline does it
-// automatically.
+// dirt its engine must repair — and on the global mesh, so restructuring
+// records the exact dirty cell set that incremental re-partitioning
+// re-keys (and Resync learns which vertices moved). Like the single-mesh
+// version it implies snapshots and must be called while quiescent; the
+// pipeline does it automatically.
 func (sm *Mesh) EnableDirtyTracking() {
 	sm.EnableSnapshots()
+	sm.global.EnableDirtyTracking()
 	for _, p := range sm.part.Parts {
 		p.Mesh.EnableDirtyTracking()
 	}
+	sm.dirty = true
 }
 
 // Epoch implements query.DeformableMesh: the number of deformation steps
@@ -107,10 +164,18 @@ func (sm *Mesh) Epoch() uint64 { return sm.epoch.Load() }
 // own double-buffered store, one epoch per global step; router queries in
 // flight keep reading the step they pinned. Deforms serialize with each
 // other and with router queries through the coherence gate.
+//
+// If the global mesh was restructured since the last publish, Deform
+// first re-partitions under the same write gate — the sub-meshes and
+// remap tables swap atomically, then the scatter below publishes the new
+// positions through the new tables, so fn always sees the full (grown)
+// vertex array and queries never mix partition generations.
 func (sm *Mesh) Deform(fn func(pos []geom.Vec3)) {
 	sm.deformMu.Lock()
 	defer sm.deformMu.Unlock()
-	sm.checkNotRestructured()
+	if d, pending := sm.pendingRestructure(); pending {
+		sm.applyRepartition(d, nil, false)
+	}
 	global := sm.global.Positions()
 	fn(global)
 	for _, p := range sm.part.Parts {
@@ -132,20 +197,126 @@ func (sm *Mesh) Deform(fn func(pos []geom.Vec3)) {
 // (Router.Step calls it each step; call it manually before building
 // engines over a partition whose global mesh has moved since). It must
 // not run concurrently with queries or Deform.
+//
+// Like Deform, Resync re-partitions first when the global mesh was
+// restructured. With dirty tracking enabled on the global mesh and a
+// publishing writer (global.Deform), the position copy is incremental:
+// only the recorded movers are scattered to their owner and ghost
+// replicas, instead of the full O(V*K) sweep.
 func (sm *Mesh) Resync() {
-	sm.checkNotRestructured()
+	g := sm.global
+	if !g.DirtyTrackingEnabled() {
+		if d, pending := sm.pendingRestructure(); pending {
+			sm.applyRepartition(d, nil, false)
+		}
+		sm.fullResync()
+		return
+	}
+	d := g.TakeDirty()
+	if d.Structural || g.NumVertices() != len(sm.part.Owner) {
+		sm.applyRepartition(d, nil, false)
+	}
+	if d.Overflow {
+		sm.fullResync()
+		return
+	}
+	// Incremental scatter: each mover lands in its owner shard and every
+	// shard ghosting it; only owner shards of movers re-derive their
+	// boxes. Shards just rebuilt by the repartition above were scattered
+	// at build time, so rewriting their entries is redundant but
+	// harmless (same values).
+	part := sm.part
+	gpos := g.Positions()
+	touched := make(map[int32]bool)
+	for _, v := range d.Verts {
+		if int(v) >= len(part.Owner) {
+			continue // created and consumed in the same interval
+		}
+		o := part.Owner[v]
+		part.Parts[o].Mesh.Positions()[part.LocalID[v]] = gpos[v]
+		touched[o] = true
+		for _, ref := range part.ghostRefs[v] {
+			part.Parts[ref.shard].Mesh.Positions()[ref.local] = gpos[v]
+		}
+	}
+	for o := range touched {
+		p := part.Parts[o]
+		p.box = p.ownedBox(p.Mesh.Positions())
+	}
+}
+
+// fullResync is the whole-mesh scatter sweep.
+func (sm *Mesh) fullResync() {
 	global := sm.global.Positions()
 	for _, p := range sm.part.Parts {
 		p.box = p.scatterBox(p.Mesh.Positions(), global)
 	}
 }
 
-// checkNotRestructured panics when the global mesh's vertex set changed
-// after partitioning: the remap tables cannot represent the new
-// vertices, and silently dropping them from every shard would corrupt
-// results.
-func (sm *Mesh) checkNotRestructured() {
-	if sm.global.NumVertices() != len(sm.part.Owner) {
-		panic("shard: global mesh was restructured after partitioning; rebuild the partition")
+// pendingRestructure reports whether the global mesh was restructured
+// since the partition was (re)built, returning whatever dirty information
+// is available. With tracking enabled it consumes the global dirty
+// region; without, it falls back to comparing vertex counts (which
+// cannot see DeleteCell — enable tracking for exact structural
+// maintenance, as the old panic contract also only checked counts).
+func (sm *Mesh) pendingRestructure() (mesh.DirtyRegion, bool) {
+	g := sm.global
+	if g.DirtyTrackingEnabled() {
+		d := g.TakeDirty()
+		return d, d.Structural || g.NumVertices() != len(sm.part.Owner)
 	}
+	return mesh.DirtyRegion{}, g.NumVertices() != len(sm.part.Owner)
+}
+
+// applyRepartition swaps in the partition derived by Apply and notifies
+// the router. The caller must hold deformMu (or otherwise exclude
+// queries and deformation).
+func (sm *Mesh) applyRepartition(d mesh.DirtyRegion, weights []float64, pressure bool) ApplyStats {
+	np, st, err := sm.part.Apply(sm.global, d, weights)
+	if err != nil {
+		panic(fmt.Sprintf("shard: re-partition after restructuring failed (K=%d, %d -> %d global vertices): %v",
+			sm.part.K, len(sm.part.Owner), sm.global.NumVertices(), err))
+	}
+	for _, s := range st.Touched {
+		if sm.snapshots {
+			np.Parts[s].Mesh.EnableSnapshots()
+		}
+		if sm.dirty {
+			np.Parts[s].Mesh.EnableDirtyTracking()
+		}
+	}
+	sm.part = np
+	sm.stats.Generations++
+	if st.Full {
+		sm.stats.FullRebuilds++
+	}
+	if pressure {
+		sm.stats.PressureRebalances++
+	}
+	sm.stats.BoundaryShifts += st.BoundaryShifts
+	sm.stats.MigratedVerts += st.MigratedVerts
+	sm.stats.MigratedCells += st.MigratedCells
+	sm.stats.TotalCellsSeen += st.LiveCells
+	sm.stats.RebuiltShards += len(st.Touched)
+	sm.stats.ImbalanceBefore, sm.stats.ImbalanceAfter = st.ImbalanceBefore, st.ImbalanceAfter
+	if sm.onRepartition != nil && len(st.Touched) > 0 {
+		sm.onRepartition(st.Touched)
+	}
+	return st
+}
+
+// Rebalance re-partitions now with the given target owned-count shares
+// (nil keeps the current ones), folding in any pending structural dirt.
+// The pressure-driven balancer calls it when one shard's query pressure
+// dominates; it serializes with queries and Deform through the coherence
+// gate. It reports whether any cut point moved.
+func (sm *Mesh) Rebalance(weights []float64) bool {
+	sm.deformMu.Lock()
+	defer sm.deformMu.Unlock()
+	var d mesh.DirtyRegion
+	if sm.global.DirtyTrackingEnabled() {
+		d = sm.global.TakeDirty()
+	}
+	st := sm.applyRepartition(d, weights, true)
+	return st.BoundaryShifts > 0 || len(st.Touched) > 0
 }

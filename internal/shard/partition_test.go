@@ -224,23 +224,42 @@ func TestStopTheWorldMaintenance(t *testing.T) {
 	cur.Close()
 }
 
-// TestRestructuringAfterPartitionPanics pins the guard against the one
-// global-mesh mutation the partition cannot represent: growing the
-// vertex set after the cut. Silently dropping the new vertices from
-// every shard would corrupt results, so Resync/Deform must panic.
-func TestRestructuringAfterPartitionPanics(t *testing.T) {
+// TestRestructuringAfterPartitionRepartitions pins the live contract
+// that replaced the old panic guard: growing the vertex set after the
+// cut triggers a re-partition at the next Resync (full here — dirty
+// tracking is off), after which the partition invariants hold and every
+// query over the grown mesh is exact.
+func TestRestructuringAfterPartitionRepartitions(t *testing.T) {
 	m := buildBoxTet(t, 4, 0.25)
 	m.EnableRestructuring()
 	r := routerOver(t, m, 2)
 	if _, _, err := m.SplitCell(0); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Resync after SplitCell should panic")
+	r.Step() // Resync re-partitions; rebuild tasks run monolithically
+	sm := r.Mesh()
+	if err := sm.Partition().Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	st := sm.RepartitionStats()
+	if st.Generations != 1 || st.FullRebuilds != 1 {
+		t.Fatalf("want one full re-partition without tracking, got %+v", st)
+	}
+	if total := sm.Partition().Owner; len(total) != m.NumVertices() {
+		t.Fatalf("owner table has %d entries, mesh has %d vertices", len(total), m.NumVertices())
+	}
+	cur := r.NewCursor()
+	defer cur.Close()
+	for i := 0; i < 8; i++ {
+		q := geom.BoxAround(m.Position(int32(i*29%m.NumVertices())), 0.3)
+		if diff := query.Diff(cur.Query(q, nil), query.BruteForce(m, q)); diff != "" {
+			t.Fatalf("query %d after re-partition: %s", i, diff)
 		}
-	}()
-	r.Mesh().Resync()
+		p := m.Position(int32(i * 41 % m.NumVertices()))
+		if got, want := cur.(query.KNNCursor).KNN(p, 7, nil), query.BruteForceKNN(m, p, 7); !equalIDs(got, want) {
+			t.Fatalf("kNN %d after re-partition: got %v want %v", i, got, want)
+		}
+	}
 }
 
 // TestPartitionGhostRing checks that every neighbour (in the global mesh)

@@ -32,12 +32,25 @@ import (
 // as the compatibility shim for the paper's alternating loop.
 type Router struct {
 	sm      *Mesh
+	factory func(*mesh.Mesh) query.ParallelKNNEngine
 	engines []query.ParallelKNNEngine
+
+	// gens[s] counts engine swaps for shard s. It is bumped under shard
+	// s's target write lock when a migration's rebuild task installs the
+	// replacement engine; cursors compare it (under the target read lock)
+	// to know when their cached inner cursor answers for a dead sub-mesh.
+	gens []uint64
 
 	// states[s] is shard s's maintenance target: its lock serializes the
 	// shard's index maintenance against the queries fanned out to it,
-	// and its counters feed the scheduler's pressure priority.
+	// and its counters feed the scheduler's pressure priority. Entries
+	// are replaced on re-partition (under the coherence gate's write
+	// side); the slice header never changes.
 	states []*maintain.TargetState
+
+	// Pressure-driven rebalance policy; writer goroutine only.
+	pp             PressurePolicy
+	sinceRebalance int
 
 	name     string
 	resident *Cursor
@@ -52,9 +65,13 @@ type Router struct {
 
 // NewRouter builds one inner engine per shard with factory and returns
 // the cross-shard router. Construction cost is the sharded equivalent of
-// single-engine preprocessing.
+// single-engine preprocessing. The factory is retained: live
+// re-partitioning rebuilds the touched shards' engines with it (the
+// router installs itself as the mesh's partition-swap hook — one live
+// router per sharded mesh; building another router for the same mesh
+// re-targets the hook).
 func NewRouter(sm *Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Router {
-	r := &Router{sm: sm}
+	r := &Router{sm: sm, factory: factory}
 	inner := "empty"
 	for s, p := range sm.part.Parts {
 		eng := factory(p.Mesh)
@@ -66,15 +83,120 @@ func NewRouter(sm *Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Rout
 			Mesh:   p.Mesh,
 		}))
 	}
+	r.gens = make([]uint64, len(r.engines))
 	r.name = fmt.Sprintf("Sharded[K=%d]·%s", sm.part.K, inner)
 	r.resident = r.newCursor()
+	sm.onRepartition = r.onRepartition
 	return r
+}
+
+// onRepartition is the sharded mesh's partition-swap hook: every rebuilt
+// shard gets a fresh maintenance target whose sticky rebuild task
+// constructs the replacement engine over the new sub-mesh. Until the
+// task runs, the target reports inconsistent, so queries fanning out to
+// the shard answer through the exact owned-scan fallback; the task runs
+// under the scheduler's wall budget (live pipeline) or inside
+// StepMonolithic (stop-the-world Step). The new target inherits the old
+// one's pressure EMA, so a hot shard's rebuild keeps its priority. Runs
+// under the same exclusion as the swap itself (the coherence gate's
+// write side, or stop-the-world Resync), so queries never observe a
+// half-swapped router.
+func (r *Router) onRepartition(touched []int) {
+	for _, s := range touched {
+		s := s
+		old := r.states[s]
+		p := r.sm.part.Parts[s]
+		ts := maintain.NewRebuildState(fmt.Sprintf("shard-%d", s), p.Mesh, func() maintain.Stepper {
+			eng := r.factory(p.Mesh)
+			r.engines[s] = eng
+			r.gens[s]++
+			return eng
+		})
+		ts.SeedPressure(old.PressureEMA())
+		r.states[s] = ts
+	}
 }
 
 // MaintainStates implements maintain.StateProvider: one maintenance
 // target per shard. The pipeline's scheduler drives them instead of
-// wrapping the router in a single global target.
-func (r *Router) MaintainStates() []*maintain.TargetState { return r.states }
+// wrapping the router in a single global target. The returned slice is a
+// copy — re-partitioning replaces entries, and the pipeline re-syncs the
+// scheduler's target set against a fresh call every step.
+func (r *Router) MaintainStates() []*maintain.TargetState {
+	return append([]*maintain.TargetState(nil), r.states...)
+}
+
+// PressurePolicy configures the pressure-driven shard balancer: when one
+// shard's query-pressure EMA dominates, the router shrinks its target
+// owned-count share so the next re-partition sheds boundary vertices to
+// its Hilbert neighbors — load balancing without any structural change.
+type PressurePolicy struct {
+	// Factor triggers a rebalance when the hottest shard's pressure EMA
+	// exceeds Factor x the mean EMA. <= 0 disables the balancer.
+	Factor float64
+	// MinPressure is an absolute floor for the hottest EMA (no rebalance
+	// on idle noise); <= 0 uses 16.
+	MinPressure int64
+	// Shed is the fraction of the hot shard's target share to give away;
+	// outside (0, 1) uses 0.5.
+	Shed float64
+	// Cooldown is the minimum number of ticks between rebalances; <= 0
+	// uses 8.
+	Cooldown int
+}
+
+// SetPressurePolicy installs the balancer policy. Not safe concurrently
+// with a running pipeline; set it before Run.
+func (r *Router) SetPressurePolicy(p PressurePolicy) { r.pp = p }
+
+// PostTick implements query.PostTicker: called by the pipeline's writer
+// after each maintenance tick, it checks the per-shard pressure EMAs the
+// scheduler just collected and, when one shard dominates, rebalances the
+// partition with a reduced share for the hot shard. The swap happens
+// under the coherence gate; the rebuilt shards' engines are constructed
+// by budgeted rebuild tasks like any migration.
+func (r *Router) PostTick() {
+	pp := r.pp
+	if pp.Factor <= 0 || len(r.states) < 2 {
+		return
+	}
+	r.sinceRebalance++
+	cd := pp.Cooldown
+	if cd <= 0 {
+		cd = 8
+	}
+	if r.sinceRebalance < cd {
+		return
+	}
+	hot, hotEMA, total := -1, int64(0), int64(0)
+	for s, ts := range r.states {
+		e := ts.PressureEMA()
+		total += e
+		if e > hotEMA {
+			hot, hotEMA = s, e
+		}
+	}
+	minP := pp.MinPressure
+	if minP <= 0 {
+		minP = 16
+	}
+	mean := float64(total) / float64(len(r.states))
+	if hot < 0 || hotEMA < minP || float64(hotEMA) < pp.Factor*mean {
+		return
+	}
+	shed := pp.Shed
+	if shed <= 0 || shed >= 1 {
+		shed = 0.5
+	}
+	w := make([]float64, len(r.states))
+	for s := range w {
+		w[s] = 1
+	}
+	w[hot] = 1 - shed
+	if r.sm.Rebalance(w) {
+		r.sinceRebalance = 0
+	}
+}
 
 // Mesh returns the sharded mesh the router executes over.
 func (r *Router) Mesh() *Mesh { return r.sm }
@@ -118,17 +240,13 @@ func (r *Router) KNN(p geom.Vec3, k int, out []int32) []int32 {
 func (r *Router) NewCursor() query.Cursor { return r.newCursor() }
 
 func (r *Router) newCursor() *Cursor {
-	c := &Cursor{r: r}
-	for _, eng := range r.engines {
-		cur := eng.NewCursor()
-		kc, ok := cur.(query.KNNCursor)
-		if !ok {
-			panic("shard: cursor of " + eng.Name() + " does not implement KNNCursor")
-		}
-		c.curs = append(c.curs, cur)
-		c.knn = append(c.knn, kc)
+	n := len(r.engines)
+	return &Cursor{
+		r:    r,
+		curs: make([]query.Cursor, n),
+		knn:  make([]query.KNNCursor, n),
+		gens: make([]uint64, n),
 	}
-	return c
 }
 
 // SetCrawlWorkers implements query.CrawlTuner by forwarding to every
@@ -191,9 +309,14 @@ func (r *Router) FanoutStats() (rangeQ, rangeFan, knnQ, knnScanned, knnWiden int
 // shard plus merge scratch. Like every cursor, it is not safe for
 // concurrent use; distinct cursors are.
 type Cursor struct {
-	r       *Router
+	r *Router
+	// curs[s]/knn[s] are created lazily under shard s's target read lock
+	// (never while a rebuild is pending) and recreated when gens[s] shows
+	// the engine was swapped by a migration — a cursor built for a retired
+	// sub-mesh must not answer for its replacement.
 	curs    []query.Cursor
 	knn     []query.KNNCursor
+	gens    []uint64
 	scratch []int32
 	kb      query.KBest
 	order   []shardDist
@@ -242,6 +365,7 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 				}
 			}
 		} else {
+			c.refresh(s)
 			c.scratch = c.curs[s].Query(q, c.scratch[:0])
 			for _, l := range c.scratch {
 				if p.Owned[l] {
@@ -271,6 +395,28 @@ func (r *Router) shardStale(s int) bool {
 	return ok && er.AnswerEpoch() != r.sm.part.Parts[s].Mesh.Epoch()
 }
 
+// refresh (re)creates the cursor's inner cursor for shard s when it is
+// missing or was created against a retired engine generation. The caller
+// holds shard s's target read lock with no rebuild pending, which orders
+// the engine and generation reads against the rebuild task's writes
+// (both happen under the same target's write lock).
+func (c *Cursor) refresh(s int) {
+	if c.curs[s] != nil && c.gens[s] == c.r.gens[s] {
+		return
+	}
+	if c.curs[s] != nil {
+		c.curs[s].Close()
+	}
+	cur := c.r.engines[s].NewCursor()
+	kc, ok := cur.(query.KNNCursor)
+	if !ok {
+		panic("shard: cursor of " + c.r.engines[s].Name() + " does not implement KNNCursor")
+	}
+	c.curs[s] = cur
+	c.knn[s] = kc
+	c.gens[s] = c.r.gens[s]
+}
+
 // LastEpoch implements query.PinnedCursor.
 func (c *Cursor) LastEpoch() uint64 { return c.epoch }
 
@@ -284,6 +430,8 @@ func (c *Cursor) LastCoverage() query.CrawlCoverage { return c.cov }
 // statistics into the shard engines.
 func (c *Cursor) Close() {
 	for _, cur := range c.curs {
-		cur.Close()
+		if cur != nil {
+			cur.Close()
+		}
 	}
 }

@@ -131,13 +131,65 @@ type Partition struct {
 	// LocalID maps every global vertex id to its local id inside the
 	// owning shard (Parts[Owner[g]].ToGlobal[LocalID[g]] == g).
 	LocalID []int32
+
+	// Incremental re-partitioning state (DESIGN.md §13). The partition
+	// retains the Hilbert key of every vertex, the complete (key, id)
+	// vertex order, and the K cut points delimiting the shards in that
+	// order, so Apply can splice re-keyed vertices into the order and
+	// shift cuts without re-keying or re-sorting the whole mesh.
+	keys         []uint64   // keys[g] = Hilbert key of global vertex g
+	order        []int32    // global ids sorted by (key, id)
+	cuts         []cutPoint // len K; shard s owns order range [cuts[s], cuts[s+1])
+	mapper       *hilbert.Mapper
+	hilbertOrder uint
+	tol          float64   // owned-count tolerance around the target shares
+	weights      []float64 // target owned-count shares; nil = uniform
+	// ghostRefs[g] lists every (shard, local id) replicating global
+	// vertex g as a ghost — the incremental Resync's scatter plan.
+	ghostRefs [][]ghostRef
 }
+
+// cutPoint is a (key, id) threshold in the Hilbert vertex order: shard s
+// owns the vertices at or after cuts[s] and before cuts[s+1]. Thresholds
+// are values, not vertex references — a vertex whose key changes simply
+// lands on the other side.
+type cutPoint struct {
+	key uint64
+	id  int32
+}
+
+// ghostRef locates one ghost replica of a global vertex.
+type ghostRef struct {
+	shard, local int32
+}
+
+// DefaultRebalanceTol is the default owned-vertex imbalance tolerance:
+// a shard's owned count may drift this fraction away from its target
+// share before Apply shifts the cut points.
+const DefaultRebalanceTol = 0.25
 
 // Options tunes NewPartition.
 type Options struct {
 	// HilbertOrder is the curve order for vertex keying; 0 uses
 	// DefaultHilbertOrder.
 	HilbertOrder uint
+
+	// RebalanceTol is the owned-count tolerance for incremental
+	// re-partitioning: 0 uses DefaultRebalanceTol, a negative value
+	// freezes the cut points (Apply migrates restructured vertices to
+	// their key's owner but never shifts boundaries to rebalance).
+	RebalanceTol float64
+}
+
+func (o Options) rebalanceTol() float64 {
+	switch {
+	case o.RebalanceTol == 0:
+		return DefaultRebalanceTol
+	case o.RebalanceTol < 0:
+		return -1
+	default:
+		return o.RebalanceTol
+	}
 }
 
 // NewPartition cuts m into k shards of (nearly) equal vertex count along
@@ -158,9 +210,11 @@ func NewPartition(m *mesh.Mesh, k int, opts Options) (*Partition, error) {
 		k = n
 	}
 	part := &Partition{
-		K:       k,
-		Owner:   make([]int32, n),
-		LocalID: make([]int32, n),
+		K:            k,
+		Owner:        make([]int32, n),
+		LocalID:      make([]int32, n),
+		hilbertOrder: order,
+		tol:          opts.rebalanceTol(),
 	}
 	if n == 0 {
 		return part, nil
@@ -243,7 +297,29 @@ func NewPartition(m *mesh.Mesh, k int, opts Options) (*Partition, error) {
 			}
 		}
 	}
+	part.keys = keys
+	part.order = byKey
+	part.mapper = mapper
+	part.cuts = make([]cutPoint, k)
+	for s := 0; s < k; s++ {
+		v := byKey[s*n/k]
+		part.cuts[s] = cutPoint{key: keys[v], id: v}
+	}
+	part.rebuildGhostRefs()
 	return part, nil
+}
+
+// rebuildGhostRefs derives the ghost scatter plan from the parts' remap
+// tables.
+func (part *Partition) rebuildGhostRefs() {
+	part.ghostRefs = make([][]ghostRef, len(part.Owner))
+	for s, p := range part.Parts {
+		for l, g := range p.ToGlobal {
+			if !p.Owned[l] {
+				part.ghostRefs[g] = append(part.ghostRefs[g], ghostRef{shard: int32(s), local: int32(l)})
+			}
+		}
+	}
 }
 
 // buildPart assembles shard s from its pre-bucketed owned vertices
@@ -365,45 +441,9 @@ func (part *Partition) Validate(m *mesh.Mesh) error {
 			len(part.Owner), len(part.LocalID), n)
 	}
 	ownedSeen := make([]int, n)
-	for s, p := range part.Parts {
-		if err := p.Mesh.Validate(); err != nil {
-			return fmt.Errorf("shard %d: %w", s, err)
-		}
-		if len(p.ToGlobal) != p.Mesh.NumVertices() || len(p.Owned) != p.Mesh.NumVertices() {
-			return fmt.Errorf("shard %d: remap tables sized %d/%d, want %d",
-				s, len(p.ToGlobal), len(p.Owned), p.Mesh.NumVertices())
-		}
-		numOwned := 0
-		pos := p.Mesh.Positions()
-		gpos := m.Positions()
-		for l, g := range p.ToGlobal {
-			if g < 0 || int(g) >= n {
-				return fmt.Errorf("shard %d: local %d maps to out-of-range global %d", s, l, g)
-			}
-			if pos[l] != gpos[g] {
-				return fmt.Errorf("shard %d: local %d position diverged from global %d", s, l, g)
-			}
-			if p.Owned[l] {
-				numOwned++
-				ownedSeen[g]++
-				if part.Owner[g] != int32(s) {
-					return fmt.Errorf("shard %d: owns global %d, owner table says %d", s, g, part.Owner[g])
-				}
-				if part.LocalID[g] != int32(l) {
-					return fmt.Errorf("shard %d: global %d local id %d, table says %d", s, g, l, part.LocalID[g])
-				}
-				if !p.box.Contains(pos[l]) {
-					return fmt.Errorf("shard %d: owned vertex %d outside shard box", s, l)
-				}
-			} else if part.Owner[g] == int32(s) {
-				return fmt.Errorf("shard %d: global %d marked ghost but owner table says owned", s, g)
-			}
-		}
-		if numOwned != p.NumOwned {
-			return fmt.Errorf("shard %d: NumOwned %d, counted %d", s, p.NumOwned, numOwned)
-		}
-		if numOwned == 0 {
-			return fmt.Errorf("shard %d: no owned vertices", s)
+	for s := range part.Parts {
+		if err := part.validateShard(m, s, ownedSeen); err != nil {
+			return err
 		}
 	}
 	for g, c := range ownedSeen {
@@ -412,6 +452,59 @@ func (part *Partition) Validate(m *mesh.Mesh) error {
 		}
 	}
 	return part.validateCutEdges()
+}
+
+// validateShard checks one shard's structural invariants: sub-mesh
+// validity, round-tripping remap tables, owner-table agreement, position
+// coherence with the global mesh, and owned-AABB containment. Apply
+// re-runs it on every touched shard after a migration; Validate runs it
+// on all of them. ownedSeen, when non-nil, accumulates per-global-vertex
+// ownership counts for Validate's exact-coverage check.
+func (part *Partition) validateShard(m *mesh.Mesh, s int, ownedSeen []int) error {
+	n := m.NumVertices()
+	p := part.Parts[s]
+	if err := p.Mesh.Validate(); err != nil {
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	if len(p.ToGlobal) != p.Mesh.NumVertices() || len(p.Owned) != p.Mesh.NumVertices() {
+		return fmt.Errorf("shard %d: remap tables sized %d/%d, want %d",
+			s, len(p.ToGlobal), len(p.Owned), p.Mesh.NumVertices())
+	}
+	numOwned := 0
+	pos := p.Mesh.Positions()
+	gpos := m.Positions()
+	for l, g := range p.ToGlobal {
+		if g < 0 || int(g) >= n {
+			return fmt.Errorf("shard %d: local %d maps to out-of-range global %d", s, l, g)
+		}
+		if pos[l] != gpos[g] {
+			return fmt.Errorf("shard %d: local %d position diverged from global %d", s, l, g)
+		}
+		if p.Owned[l] {
+			numOwned++
+			if ownedSeen != nil {
+				ownedSeen[g]++
+			}
+			if part.Owner[g] != int32(s) {
+				return fmt.Errorf("shard %d: owns global %d, owner table says %d", s, g, part.Owner[g])
+			}
+			if part.LocalID[g] != int32(l) {
+				return fmt.Errorf("shard %d: global %d local id %d, table says %d", s, g, l, part.LocalID[g])
+			}
+			if !p.box.Contains(pos[l]) {
+				return fmt.Errorf("shard %d: owned vertex %d outside shard box", s, l)
+			}
+		} else if part.Owner[g] == int32(s) {
+			return fmt.Errorf("shard %d: global %d marked ghost but owner table says owned", s, g)
+		}
+	}
+	if numOwned != p.NumOwned {
+		return fmt.Errorf("shard %d: NumOwned %d, counted %d", s, p.NumOwned, numOwned)
+	}
+	if numOwned == 0 {
+		return fmt.Errorf("shard %d: no owned vertices", s)
+	}
+	return nil
 }
 
 // validateCutEdges checks that every cut edge connects an owned vertex to

@@ -204,6 +204,19 @@ type ShardedEngine = shard.Router
 // ownership tables and cut-edge ghost lists.
 type ShardPartition = shard.Partition
 
+// RepartitionStats accumulates a sharded mesh's live re-partitioning
+// activity — generations, boundary cut shifts, migrated vertices and
+// cells versus the totals a full rebuild would have moved, and the
+// owned-count imbalance before/after the latest generation. Read it with
+// ShardedMesh.RepartitionStats.
+type RepartitionStats = shard.RepartitionStats
+
+// ShardPressurePolicy configures a ShardedEngine's pressure-driven
+// balancer (ShardedEngine.SetPressurePolicy): when one shard's
+// query-pressure EMA dominates, the router sheds part of that shard's
+// target share to its Hilbert neighbors at the next re-partition.
+type ShardPressurePolicy = shard.PressurePolicy
+
 // NewShardedMesh cuts m into k shards of (nearly) equal vertex count
 // along the Hilbert order of the current positions. k is clamped to the
 // vertex count.

@@ -76,7 +76,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 27 {
+	if len(exps) != 28 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
@@ -121,14 +121,31 @@ func TestDatasetTablesQuick(t *testing.T) {
 // TestAllExperimentsQuick exercises every driver end to end at reduced
 // scale. It is the integration test of the whole evaluation pipeline and
 // takes a couple of minutes, so -short skips it.
+//
+// Experiments whose dedicated smoke test already runs the full driver at
+// the same QuickConfig in this suite (with stronger assertions) are
+// skipped here — running them twice doubled minutes of wall time for
+// zero added coverage and pushed the package against the go test
+// per-package timeout.
 func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	coveredBySmoke := map[string]string{
+		"layout":      "TestLayoutQuick",
+		"live":        "TestLiveExperimentSmoke",
+		"maintain":    "TestMaintainExperimentSmoke",
+		"repartition": "TestRepartExperimentSmoke",
+		"sharded":     "TestShardExperimentSmoke",
+		"slo":         "TestSLOExperimentSmoke",
 	}
 	cfg := QuickConfig()
 	for _, exp := range Experiments() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
+			if smoke := coveredBySmoke[exp.ID]; smoke != "" {
+				t.Skipf("full driver runs in %s at the same config", smoke)
+			}
 			tables, err := exp.Run(cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"parallel", "extension: batched query throughput vs worker count (cursor-parallel execution)", ParallelScaling},
 		{"repartition", "extension: live incremental re-partitioning — migration volume under restructuring storms and pressure-driven shard balancing (DESIGN.md §13)", Repartition},
 		{"sharded", "extension: Hilbert-partitioned shards — response time, fan-out and live staleness vs shard count (DESIGN.md §10)", Sharded},
+		{"slo", "extension: SLO-driven serving — adaptive controller, result cache drill and actuator ladder (DESIGN.md §14)", SLO},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// TestSLOExperimentSmoke runs the serving-layer experiment at test scale
+// and pins the deterministic cells the CI trend gate relies on: the
+// cache drill must answer repeat queries bit-equal to fresh execution
+// (zero mismatches) at a hit rate past the acceptance floor, and the
+// scripted controller ladder must land on its designed actuator values.
+func TestSLOExperimentSmoke(t *testing.T) {
+	tables, err := SLO(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*Table{}
+	for _, tab := range tables {
+		tab.Render(io.Discard)
+		byID[tab.ID] = tab
+	}
+	for _, id := range []string{"slo-live", "slo-cache", "slo-control"} {
+		if byID[id] == nil {
+			t.Fatalf("experiment did not produce table %q", id)
+		}
+	}
+
+	cell := func(tab *Table, row, col string) float64 {
+		ci := -1
+		for i, c := range tab.Columns {
+			if c == col {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			t.Fatalf("%s: no column %q", tab.ID, col)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == row {
+				v, err := strconv.ParseFloat(r[ci], 64)
+				if err != nil {
+					t.Fatalf("%s %s/%s: %q not numeric", tab.ID, row, col, r[ci])
+				}
+				return v
+			}
+		}
+		t.Fatalf("%s: no row %q", tab.ID, row)
+		return 0
+	}
+
+	cache := byID["slo-cache"]
+	for _, kind := range []string{"range", "knn"} {
+		if got := cell(cache, kind, "mismatches"); got != 0 {
+			t.Errorf("%s cache hits not bit-equal to fresh execution: %v mismatches", kind, got)
+		}
+		if got := cell(cache, kind, "hit-rate[%]"); got < 50 {
+			t.Errorf("%s hit rate %v%%, want >= 50%% on repeat traffic", kind, got)
+		}
+	}
+	if got := cell(cache, "total", "invalidated"); got <= 0 {
+		t.Error("blob deformations invalidated nothing — the dirty-region feed is dead")
+	}
+
+	ctl := byID["slo-control"]
+	if got := cell(ctl, "meeting-8", "window-shift"); got != 0 {
+		t.Errorf("met SLO moved the admission window: shift %v", got)
+	}
+	if got := cell(ctl, "overload-8", "budget[us]"); got != 62.5 {
+		t.Errorf("overloaded budget %vus, want the 62.5us floor (2ms/32)", got)
+	}
+	if got := cell(ctl, "overload-24", "window-shift"); got != 6 {
+		t.Errorf("sustained-overload shift %v, want the max 6", got)
+	}
+	if got := cell(ctl, "overload-24", "crawl-max"); got != 1024 {
+		t.Errorf("sustained-overload crawl budget %v, want 1024 (three tightenings)", got)
+	}
+	if got := cell(ctl, "recovered", "budget[us]"); got != 2000 {
+		t.Errorf("recovered budget %vus, want the 2ms ceiling", got)
+	}
+	if got := cell(ctl, "recovered", "crawl-max"); got != 0 {
+		t.Errorf("recovered crawl budget %v, want 0 (exact)", got)
+	}
+	if got := cell(ctl, "recovered", "relaxations"); got != 1 {
+		t.Errorf("relaxations %v, want exactly 1", got)
+	}
+}

@@ -55,6 +55,12 @@ type Cursor struct {
 	knnStride int
 	knnStart  int
 
+	// knnBound2/knnBoundOK record the k-th-best squared distance of the
+	// last kNN before AppendSorted drains the heap (Bound reads the heap
+	// root, so it must be captured pre-drain). Surfaced as LastKNNBound2.
+	knnBound2  float64
+	knnBoundOK bool
+
 	// Sharded-probe scratch (Octopus.probeSharded): per-shard seed buffers
 	// and prebuilt worker closures, reused across queries so the sharded
 	// exact probe allocates nothing in steady state. The closures read the
@@ -203,6 +209,12 @@ func (c *Cursor) LastCoverage() query.CrawlCoverage {
 	cov.Visited = c.expanded
 	return cov
 }
+
+// LastKNNBound2 implements query.KNNBoundReporter: the squared k-th-best
+// distance of the cursor's most recent kNN (+Inf when the mesh held fewer
+// than k vertices), ok=false when the last kNN took a degenerate early
+// return and no ball was established.
+func (c *Cursor) LastKNNBound2() (float64, bool) { return c.knnBound2, c.knnBoundOK }
 
 // MemoryBytes reports the cursor's full scratch footprint: the crawl
 // structures (visited set, dense mark array, walk frontier, the parallel

@@ -144,6 +144,11 @@ func (c *hybridCursor) Query(q geom.AABB, out []int32) []int32 {
 // LastEpoch implements query.PinnedCursor.
 func (c *hybridCursor) LastEpoch() uint64 { return c.oct.LastEpoch() }
 
+// LastKNNBound2 implements query.KNNBoundReporter: both routes record the
+// ball on the inner OCTOPUS cursor (the scan route computes it from the
+// pinned positions, the crawl route from the candidate heap).
+func (c *hybridCursor) LastKNNBound2() (float64, bool) { return c.oct.LastKNNBound2() }
+
 // LastCoverage implements query.CoverageReporter: scan-routed queries are
 // always exact (the inner cursor's coverage is reset on that route), so
 // the report is meaningful whichever side answered.

@@ -40,6 +40,7 @@ func (o *Octopus) KNN(p geom.Vec3, k int, out []int32) []int32 {
 
 // knnWith implements cursorOwner for kNN execution.
 func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
+	cur.knnBoundOK = false
 	if k <= 0 || o.m.NumVertices() == 0 {
 		return out
 	}
@@ -141,6 +142,8 @@ func (o *Octopus) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 
 	}
 
 	cur.endQuery(o.m)
+	// Capture the kNN ball before AppendSorted drains the heap.
+	cur.knnBound2, cur.knnBoundOK = cur.kbest.Bound(), true
 	out = cur.kbest.AppendSorted(out)
 	cur.stats.Results += int64(len(out) - before)
 	return out
@@ -166,6 +169,7 @@ func (c *Con) KNN(p geom.Vec3, k int, out []int32) []int32 {
 
 // knnWith implements cursorOwner for kNN execution on OCTOPUS-CON.
 func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
+	cur.knnBoundOK = false
 	if k <= 0 || c.m.NumVertices() == 0 {
 		return out
 	}
@@ -199,6 +203,8 @@ func (c *Con) knnWith(cur *Cursor, p geom.Vec3, k int, out []int32) []int32 {
 	}
 
 	cur.endQuery(c.m)
+	// Capture the kNN ball before AppendSorted drains the heap.
+	cur.knnBound2, cur.knnBoundOK = cur.kbest.Bound(), true
 	out = cur.kbest.AppendSorted(out)
 	cur.stats.Results += int64(len(out) - before)
 	return out
@@ -238,7 +244,12 @@ func (c *hybridCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	if c.h.routeKNN(k) {
 		c.oct.resetCoverage() // scans are exact
 		pos := c.oct.beginQuery(c.h.oct.m, c.h.oct.pinning)
+		base := len(out)
 		out = c.h.scan.KNNAt(pos, p, k, out)
+		c.oct.knnBound2, c.oct.knnBoundOK = math.Inf(1), true
+		if res := out[base:]; k > 0 && len(res) >= k {
+			c.oct.knnBound2 = pos[res[k-1]].Dist2(p)
+		}
 		c.oct.endQuery(c.h.oct.m)
 		return out
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"octopus/internal/mesh"
 )
 
 // Options configures a Scheduler.
@@ -55,6 +57,11 @@ type Scheduler struct {
 	// on the writer goroutine and need no lock among themselves.
 	mu sync.Mutex
 
+	// dirtyObs, when set, receives every dirty region Tick collects from
+	// a target's mesh, on the writer goroutine, before the tick's slices
+	// run. The SLO serving layer uses it to invalidate its result cache.
+	dirtyObs func(mesh.DirtyRegion)
+
 	ticks      atomic.Int64
 	exclusives atomic.Int64
 	maxStale   atomic.Uint64
@@ -72,6 +79,22 @@ func NewScheduler(states []*TargetState, opt Options) *Scheduler {
 
 // Targets returns the scheduled target states, in registration order.
 func (s *Scheduler) Targets() []*TargetState { return s.states }
+
+// SetBudget replaces the per-tick maintenance budget for subsequent
+// ticks — the SLO controller's primary actuator. Writer goroutine only,
+// like Tick; in-flight slices of the current tick are unaffected.
+func (s *Scheduler) SetBudget(d time.Duration) { s.opt.Budget = d }
+
+// Budget returns the current per-tick maintenance budget.
+func (s *Scheduler) Budget() time.Duration { return s.opt.Budget }
+
+// SetDirtyObserver installs fn to receive every dirty region Tick takes
+// from a target's mesh (writer goroutine, before the tick's slices run).
+// nil removes the observer. Writer goroutine only; regions consumed by
+// paths that bypass Tick — StepMonolithic, a drain's task creation — are
+// not observed, so an observer that must never miss a change (the result
+// cache) pairs the stream with a flush on target-set swaps.
+func (s *Scheduler) SetDirtyObserver(fn func(mesh.DirtyRegion)) { s.dirtyObs = fn }
 
 // AddTarget registers a target mid-run; idempotent. Writer goroutine
 // only, like Tick.
@@ -94,8 +117,12 @@ func (s *Scheduler) RemoveTarget(ts *TargetState) {
 // current MaintainStates): stale targets are retired, new ones
 // registered. The pipeline calls it after every step so a re-partition's
 // replacement targets run under the budget from the very next tick.
+// It reports whether the set changed — a target swap means result
+// membership may have changed without a dirty trail through the
+// surviving targets (a re-partition's fresh sub-meshes start with empty
+// accumulators), so epoch-keyed caches must flush on true.
 // Writer goroutine only.
-func (s *Scheduler) SyncTargets(want []*TargetState) {
+func (s *Scheduler) SyncTargets(want []*TargetState) (changed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keep := make(map[*TargetState]bool, len(want))
@@ -105,11 +132,16 @@ func (s *Scheduler) SyncTargets(want []*TargetState) {
 	for i := len(s.states) - 1; i >= 0; i-- {
 		if !keep[s.states[i]] {
 			s.removeLocked(s.states[i])
+			changed = true
 		}
 	}
 	for _, ts := range want {
+		if _, ok := s.base[ts]; !ok {
+			changed = true
+		}
 		s.addLocked(ts)
 	}
+	return changed
 }
 
 func (s *Scheduler) addLocked(ts *TargetState) {
@@ -148,7 +180,9 @@ func (s *Scheduler) Tick() {
 	s.ticks.Add(1)
 	work := make([]*TargetState, 0, len(s.states))
 	for _, ts := range s.states {
-		ts.collect()
+		if d, ok := ts.collect(); ok && s.dirtyObs != nil {
+			s.dirtyObs(d)
+		}
 		st := ts.staleness()
 		ts.staleCache.Store(st)
 		if st > s.maxStale.Load() {

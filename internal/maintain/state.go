@@ -204,15 +204,17 @@ func (ts *TargetState) drainLocked(monolithic bool) {
 }
 
 // collect folds the mesh's freshly taken dirty region into the pending
-// accumulator and decays the pressure counter. Writer goroutine only.
-func (ts *TargetState) collect() {
+// accumulator and decays the pressure counter, returning the taken
+// region (ok reports a non-empty one) so Tick can feed the scheduler's
+// dirty observer. Writer goroutine only.
+func (ts *TargetState) collect() (taken mesh.DirtyRegion, ok bool) {
 	ts.ema = ts.ema/2 + ts.pressure.Swap(0)
 	if ts.t.Mesh == nil {
-		return
+		return mesh.DirtyRegion{}, false
 	}
 	d := ts.t.Mesh.TakeDirty()
 	if d.Empty() {
-		return
+		return mesh.DirtyRegion{}, false
 	}
 	ts.mu.Lock()
 	if ts.havePending {
@@ -222,6 +224,7 @@ func (ts *TargetState) collect() {
 		ts.havePending = true
 	}
 	ts.mu.Unlock()
+	return d, true
 }
 
 // staleness returns how many epochs the target's consistent answer state

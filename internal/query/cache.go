@@ -1,0 +1,296 @@
+package query
+
+import (
+	"math"
+	"sync"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+)
+
+// ResultCache is the epoch-keyed result cache of the serving layer
+// (DESIGN.md §14): repeated hot-region queries — the dominant shape of a
+// many-reader monitoring workload — answer from cached result sets until
+// the mesh actually changes under them.
+//
+// Correctness rests on the dirty-region contract (DESIGN.md §11): every
+// published step's DirtyRegion.Box is the union AABB of the old AND new
+// positions of every vertex that moved. A cached range result therefore
+// stays exact as long as no dirty box intersects its query box — a result
+// vertex cannot leave the box, and an outside vertex cannot enter it,
+// without its movement being covered by some dirty box. A cached kNN
+// result stays exact as long as no dirty box intersects the closed ball
+// of squared radius ball2 (the k-th-best squared distance) around the
+// probe: a result vertex cannot move (its old position is inside the
+// ball), and an outside vertex cannot come to rank among the k best (its
+// new position would be inside the ball), without intersecting it.
+// Structural changes (cell splits and deletes — new vertices can appear
+// anywhere in the touched region) and untracked epochs (an Overflow
+// region with an empty box carries no location information) flush the
+// whole cache.
+//
+// Epoch accounting: validEpoch is the head epoch through which Advance
+// has applied invalidations. An entry is valid at max(its insertion
+// epoch, validEpoch) — at its own epoch by construction (it is a fresh
+// execution), and at validEpoch because every dirty interval up to
+// validEpoch was checked against it. Get reports that epoch so traces
+// stay honest; Put rejects entries older than validEpoch, whose validity
+// the cache can no longer prove.
+//
+// All methods are safe for concurrent use (one mutex — the cache is a
+// fast-path shortcut, not a scalability bottleneck: a hit replaces an
+// entire index traversal). Only exact results may be cached: the caller
+// must not Put results truncated by a CrawlBudget or produced by the
+// approximate surface probe, since a later hit replays them bit-for-bit.
+type ResultCache struct {
+	mu         sync.Mutex
+	entries    map[cacheKey]*cacheEntry
+	fifo       []cacheKey // insertion order; dead keys are skipped on evict
+	cap        int
+	validEpoch uint64
+
+	stats CacheStats
+}
+
+// cacheKey identifies one query. Range and kNN keys live in one map,
+// discriminated by kind; the struct is comparable (AABB and Vec3 are
+// plain float64 structs).
+type cacheKey struct {
+	kind byte // 'r' = range, 'k' = kNN
+	box  geom.AABB
+	p    geom.Vec3
+	k    int
+}
+
+// cacheEntry is one cached result set.
+type cacheEntry struct {
+	res   []int32
+	epoch uint64
+	// ball2 is the squared kNN ball radius (the k-th-best squared
+	// distance; +Inf when the mesh held fewer than k vertices, so any
+	// movement invalidates). Unused (0) for range entries.
+	ball2 float64
+}
+
+// DefaultCacheSize is the entry capacity Pipeline uses when the cache is
+// enabled without an explicit size.
+const DefaultCacheSize = 4096
+
+// NewResultCache returns a cache holding at most capacity entries
+// (evicted FIFO); capacity <= 0 uses DefaultCacheSize.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &ResultCache{
+		entries: make(map[cacheKey]*cacheEntry, capacity),
+		cap:     capacity,
+	}
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Puts counts accepted insertions; Rejected counts Puts refused
+	// because the entry's epoch predated validEpoch (its validity at the
+	// cache's epoch can no longer be proven).
+	Puts, Rejected int64
+	// Invalidated counts entries dropped by a dirty box; Evicted counts
+	// capacity evictions; Flushes counts whole-cache flushes (structural
+	// change, untracked epoch, or target-set swap).
+	Invalidated, Evicted, Flushes int64
+	// Entries is the current entry count; ValidEpoch the epoch through
+	// which invalidations have been applied.
+	Entries    int
+	ValidEpoch uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any Get.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.ValidEpoch = c.validEpoch
+	return s
+}
+
+// Len returns the current entry count.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// GetRange looks up the cached result of range query q. On a hit it
+// returns a copy of the result set and the epoch the result is provably
+// exact at (see the type comment); the caller reports that epoch as the
+// query's answer epoch.
+func (c *ResultCache) GetRange(q geom.AABB) ([]int32, uint64, bool) {
+	return c.get(cacheKey{kind: 'r', box: q})
+}
+
+// GetKNN looks up the cached result of a kNN probe.
+func (c *ResultCache) GetKNN(p geom.Vec3, k int) ([]int32, uint64, bool) {
+	return c.get(cacheKey{kind: 'k', p: p, k: k})
+}
+
+func (c *ResultCache) get(key cacheKey) ([]int32, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, 0, false
+	}
+	c.stats.Hits++
+	epoch := e.epoch
+	if c.validEpoch > epoch {
+		epoch = c.validEpoch
+	}
+	return append([]int32(nil), e.res...), epoch, true
+}
+
+// PutRange caches the exact result of range query q as executed at epoch.
+// The cache takes ownership of res (callers pass freshly built slices and
+// hits hand out copies). Entries older than validEpoch are rejected: a
+// dirty interval they predate has already been applied, so their validity
+// cannot be proven anymore.
+func (c *ResultCache) PutRange(q geom.AABB, res []int32, epoch uint64) {
+	c.put(cacheKey{kind: 'r', box: q}, res, epoch, 0)
+}
+
+// PutKNN caches the exact result of a kNN probe as executed at epoch.
+// ball2 is the squared distance of the k-th-best result (KBest.Bound
+// before draining — +Inf when fewer than k vertices exist), the radius
+// inside which any movement invalidates the entry.
+func (c *ResultCache) PutKNN(p geom.Vec3, k int, res []int32, epoch uint64, ball2 float64) {
+	c.put(cacheKey{kind: 'k', p: p, k: k}, res, epoch, ball2)
+}
+
+func (c *ResultCache) put(key cacheKey, res []int32, epoch uint64, ball2 float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.validEpoch {
+		c.stats.Rejected++
+		return
+	}
+	if e, ok := c.entries[key]; ok {
+		// Refresh in place; the key keeps its FIFO slot.
+		e.res, e.epoch, e.ball2 = res, epoch, ball2
+		c.stats.Puts++
+		return
+	}
+	for len(c.entries) >= c.cap {
+		c.evictOldestLocked()
+	}
+	c.entries[key] = &cacheEntry{res: res, epoch: epoch, ball2: ball2}
+	c.fifo = append(c.fifo, key)
+	c.stats.Puts++
+}
+
+// evictOldestLocked drops the oldest live entry. Keys whose entries were
+// already invalidated are skipped (each FIFO slot is popped exactly once,
+// so the skip cost is amortized over the puts that created them).
+func (c *ResultCache) evictOldestLocked() {
+	for len(c.fifo) > 0 {
+		key := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if _, ok := c.entries[key]; ok {
+			delete(c.entries, key)
+			c.stats.Evicted++
+			return
+		}
+	}
+	// FIFO empty but entries remain: impossible by construction, but never
+	// loop forever on a future bookkeeping bug.
+	for key := range c.entries {
+		delete(c.entries, key)
+		c.stats.Evicted++
+		return
+	}
+}
+
+// Advance applies the dirty regions published since the last call and
+// marks the cache valid through head: entries whose query box (or kNN
+// ball) intersects a dirty box are dropped; a structural region, or an
+// untracked interval (Overflow with an empty box — the epoch advanced
+// but nobody knows where), flushes everything. The caller must pass every
+// dirty region taken from the mesh (or, sharded, from every sub-mesh)
+// covering (previous head, head] — the maintenance scheduler's dirty
+// observer delivers exactly that stream.
+func (c *ResultCache) Advance(regions []mesh.DirtyRegion, head uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flush := false
+	boxes := make([]geom.AABB, 0, len(regions))
+	for _, d := range regions {
+		if d.Structural || (d.Overflow && d.Box.IsEmpty()) {
+			flush = true
+			break
+		}
+		if !d.Box.IsEmpty() {
+			boxes = append(boxes, d.Box)
+		}
+	}
+	switch {
+	case flush:
+		c.flushLocked()
+	case len(boxes) > 0:
+		for key, e := range c.entries {
+			if entryDirty(key, e, boxes) {
+				delete(c.entries, key)
+				c.stats.Invalidated++
+			}
+		}
+	}
+	if head > c.validEpoch {
+		c.validEpoch = head
+	}
+}
+
+// entryDirty reports whether any dirty box can affect the entry.
+func entryDirty(key cacheKey, e *cacheEntry, boxes []geom.AABB) bool {
+	for _, b := range boxes {
+		if key.kind == 'r' {
+			if b.Intersects(key.box) {
+				return true
+			}
+		} else if b.Dist2(key.p) <= e.ball2 {
+			// Closed-ball test: a vertex at exactly the k-th-best distance
+			// can still displace a result entry under the (dist, id) order.
+			return true
+		}
+	}
+	return false
+}
+
+// Flush drops every entry without touching validEpoch — the response to
+// events that change result membership wholesale without a dirty trail,
+// like a re-partition swapping the maintenance target set.
+func (c *ResultCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+}
+
+func (c *ResultCache) flushLocked() {
+	clear(c.entries)
+	c.fifo = c.fifo[:0]
+	c.stats.Flushes++
+}
+
+// infBall2 is the kNN ball stored when the result holds fewer than k
+// vertices: the whole mesh is in the result, so any movement can reorder
+// it and every dirty box invalidates.
+var infBall2 = math.Inf(1)

@@ -34,6 +34,21 @@ func (b CrawlBudget) Unlimited() bool { return b.MaxVisited <= 0 && b.Wall <= 0 
 // CrawlBudget cut it off — the recall dial's readout, carried per query in
 // QueryTrace.Coverage. The zero value means "no crawl truncation" (exact
 // engines, scan-routed queries, or an unlimited budget).
+//
+// When one query's coverage is assembled from several sub-crawls (the
+// crawl engines merge per component, the sharded router per shard), each
+// field aggregates by its own rule — Add is the single implementation of
+// this contract:
+//
+//   - Truncated is the OR: the query is approximate if any sub-crawl was
+//     cut off.
+//   - Visited and Frontier sum: they count work and abandoned discoveries
+//     across disjoint vertex sets.
+//   - BoundGap takes the max: each sub-crawl's gap already bounds how far
+//     that crawl's region was from convergence, and the query as a whole
+//     is only as converged as its worst part. Summing would double-count
+//     (k shards each at gap 1 do not make the query "k× unconverged")
+//     and could exceed the field's [0, 1] range.
 type CrawlCoverage struct {
 	// Truncated reports whether any crawl of the query hit the budget.
 	Truncated bool
@@ -63,7 +78,9 @@ func (c CrawlCoverage) VisitedFrac() float64 {
 }
 
 // Add accumulates o into c — the merge applied per shard by the sharded
-// router's cursor, and per component inside the crawl engines.
+// router's cursor, and per component inside the crawl engines — under the
+// per-field aggregation contract documented on CrawlCoverage: Truncated
+// ORs, Visited and Frontier sum, BoundGap takes the max.
 func (c *CrawlCoverage) Add(o CrawlCoverage) {
 	c.Truncated = c.Truncated || o.Truncated
 	c.Visited += o.Visited

@@ -52,16 +52,38 @@ type SnapshotKNNEngine interface {
 	KNNAt(pos []geom.Vec3, p geom.Vec3, k int, out []int32) []int32
 }
 
+// KNNBoundReporter is implemented by cursors that can report the squared
+// k-th-best distance — the kNN ball — of their most recent KNN call. The
+// result cache uses it to build the invalidation ball: the cached result
+// can only change if a vertex moves into or out of the closed ball of
+// that radius around the probe. ok is false when the cursor's most
+// recent KNN could not determine the ball (the engine answered from an
+// internal snapshot the cursor cannot read positions of); such results
+// are simply not cached. The value is only meaningful immediately after
+// a KNN call — a later range query does not reset it.
+type KNNBoundReporter interface {
+	// LastKNNBound2 returns the squared distance of the k-th result of
+	// the most recent KNN (+Inf when fewer than k vertices exist — the
+	// whole mesh is in the result and any movement can reorder it).
+	LastKNNBound2() (ball2 float64, ok bool)
+}
+
 // KNN implements KNNCursor by delegating to the stateless engine (whose
 // KNN method, like its Query method, touches no mutable engine state),
 // pinning a position epoch when the mesh runs in snapshot mode — the same
 // protocol as StatelessCursor.Query.
 func (c *StatelessCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	c.lastBoundOK = false
 	if c.Mesh != nil && c.Mesh.SnapshotsEnabled() {
 		if se, ok := c.Engine.(SnapshotKNNEngine); ok {
 			epoch, pos := c.Mesh.PinPositions()
 			c.lastEpoch = epoch
+			base := len(out)
 			out = se.KNNAt(pos, p, k, out)
+			c.lastBound2, c.lastBoundOK = math.Inf(1), true
+			if res := out[base:]; k > 0 && len(res) >= k {
+				c.lastBound2 = pos[res[k-1]].Dist2(p)
+			}
 			c.Mesh.UnpinPositions(epoch)
 			return out
 		}
@@ -74,6 +96,13 @@ func (c *StatelessCursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 	}
 	panic("query: engine " + c.Engine.Name() + " does not implement KNNEngine")
 }
+
+// LastKNNBound2 implements KNNBoundReporter: the ball is known only on
+// the snapshot path, where the cursor holds the positions the result was
+// computed against. Engines answering from an internal snapshot
+// (EpochReporter) report ok=false — the cursor cannot read that
+// snapshot's positions, so their kNN results are not cached.
+func (c *StatelessCursor) LastKNNBound2() (float64, bool) { return c.lastBound2, c.lastBoundOK }
 
 // ExecuteKNNBatch executes kNN probes against eng using a pool of workers,
 // each with its own cursor, and returns one result slice per probe

@@ -59,7 +59,9 @@ type StatelessCursor struct {
 	// delegate behavior.
 	Mesh *mesh.Mesh
 
-	lastEpoch uint64
+	lastEpoch   uint64
+	lastBound2  float64
+	lastBoundOK bool
 }
 
 // Query implements Cursor by delegating to the stateless engine, pinning

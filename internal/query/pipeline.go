@@ -1,7 +1,6 @@
 package query
 
 import (
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,6 +9,7 @@ import (
 
 	"octopus/internal/geom"
 	"octopus/internal/maintain"
+	"octopus/internal/mesh"
 )
 
 // DeformableMesh is the dataset surface the pipeline's writer needs: a
@@ -124,8 +124,37 @@ type Pipeline struct {
 	// maintain bench experiment sweeps budgets against.
 	MonolithicMaintenance bool
 
+	// TargetLatency, when > 0, is the p99 latency SLO and turns the
+	// pipeline into a controlled serving loop (DESIGN.md §14): each tick
+	// an SLOController compares the sliding p99 of served queries
+	// against it and adapts the maintenance budget (between
+	// MaintenanceBudget — or a 2ms default when unset — and 1/32 of it),
+	// the admission window, and, under sustained overload, the engine's
+	// CrawlBudget, serving approximate results with honest CrawlCoverage
+	// instead of queuing. The controller owns those knobs during Run:
+	// a crawl budget it installed is reset to exact at Run exit. When an
+	// admission window is full, excess queries are shed — their trace
+	// has Shed set, their result slice is nil — rather than queued into
+	// the latency distribution.
+	TargetLatency time.Duration
+	// CacheSize, when > 0, enables the epoch-keyed result cache with
+	// that entry capacity (see ResultCache): repeated queries answer
+	// from cache until a dirty-region AABB intersects their query box or
+	// kNN ball. Cache hits are exact — the trace reports the epoch the
+	// cached result is provably equal to fresh execution at, and Cached
+	// is set. Requires dirty regions to actually flow (a mesh with
+	// pinned snapshots, or a sharded StateProvider engine); otherwise
+	// the cache stays disabled. Caching assumes exact execution: do not
+	// combine it with the approximate surface probe, whose results are
+	// not replayable.
+	CacheSize int
+
 	// sched is the scheduler of the most recent Run, kept for stats.
 	sched *maintain.Scheduler
+	// ctl/cache are the SLO controller and result cache of the most
+	// recent Run, kept for stats.
+	ctl   *SLOController
+	cache *ResultCache
 }
 
 // SchedulerStats returns the maintenance scheduler's statistics for the
@@ -136,6 +165,24 @@ func (p *Pipeline) SchedulerStats() maintain.Stats {
 		return maintain.Stats{}
 	}
 	return p.sched.Stats()
+}
+
+// SLOStats returns the SLO controller's state for the most recent (or
+// in-flight) Run; the zero SLOStats when TargetLatency was not set.
+func (p *Pipeline) SLOStats() SLOStats {
+	if p.ctl == nil {
+		return SLOStats{}
+	}
+	return p.ctl.Stats()
+}
+
+// CacheStats returns the result cache's counters for the most recent (or
+// in-flight) Run; the zero CacheStats when the cache was not enabled.
+func (p *Pipeline) CacheStats() CacheStats {
+	if p.cache == nil {
+		return CacheStats{}
+	}
+	return p.cache.Stats()
 }
 
 // QueryTrace is the per-query record of a pipeline run.
@@ -156,6 +203,14 @@ type QueryTrace struct {
 	// without a crawl phase, and for mid-maintenance fallback scans
 	// (which are always exact).
 	Coverage CrawlCoverage
+	// Cached reports the result was served from the result cache; Epoch
+	// is then the epoch the cached result is provably exact at.
+	Cached bool
+	// Shed reports the query was refused by admission control (the
+	// in-flight window was full under an SLO overload): the result slice
+	// is nil and Latency is only the shed decision time. Shed queries
+	// are not latency observations — they were never served.
+	Shed bool
 }
 
 // Staleness returns how many epochs behind the simulation head the
@@ -178,9 +233,18 @@ type PipelineReport struct {
 	RangeTraces []QueryTrace
 	KNNTraces   []QueryTrace
 	// Steps is the number of deformation steps the writer published
-	// during the run; Wall is the end-to-end run time.
-	Steps int
-	Wall  time.Duration
+	// during the run; Wall is the serving run time — from start until
+	// the writer and every query finished. The post-run maintenance
+	// drain is deliberately excluded (it is shutdown cost, not serving
+	// cost) and reported as DrainWall; the pre-fix accounting folded it
+	// into Wall, skewing every throughput-derived bench number for
+	// budget-sliced runs whose last task drains at exit.
+	Steps     int
+	Wall      time.Duration
+	DrainWall time.Duration
+	// Sheds counts queries refused by admission control (traces with
+	// Shed set).
+	Sheds int64
 }
 
 // Traces returns all traces (range then kNN).
@@ -192,20 +256,24 @@ func (r *PipelineReport) Traces() []QueryTrace {
 }
 
 // LatencyStats summarizes trace latencies: mean and the given quantile
-// (e.g. 0.99).
+// (e.g. 0.99), using the nearest-rank definition (see quantileIndex).
+// Shed traces are excluded — their latency is a refusal, not a service
+// time, and counting them would flatter every percentile.
 func LatencyStats(traces []QueryTrace, q float64) (mean, quantile time.Duration) {
-	if len(traces) == 0 {
-		return 0, 0
-	}
-	lats := make([]time.Duration, len(traces))
+	lats := make([]time.Duration, 0, len(traces))
 	var sum time.Duration
-	for i, t := range traces {
-		lats[i] = t.Latency
+	for _, t := range traces {
+		if t.Shed {
+			continue
+		}
+		lats = append(lats, t.Latency)
 		sum += t.Latency
 	}
+	if len(lats) == 0 {
+		return 0, 0
+	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	idx := int(math.Ceil(q * float64(len(lats)-1)))
-	return sum / time.Duration(len(lats)), lats[idx]
+	return sum / time.Duration(len(lats)), lats[quantileIndex(len(lats), q)]
 }
 
 // StalenessStats summarizes trace staleness: mean and maximum epochs
@@ -262,8 +330,20 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 		dt.EnableDirtyTracking()
 	}
 	states, single := p.maintainStates()
+
+	// SLO controller: owns the maintenance budget (and, under sustained
+	// overload, the admission window and crawl budget) for the run.
+	var ctl *SLOController
+	if p.TargetLatency > 0 {
+		ctl = NewSLOController(p.TargetLatency, p.MaintenanceBudget)
+	}
+	p.ctl = ctl
+	budget := p.MaintenanceBudget
+	if ctl != nil {
+		budget = ctl.Stats().Budget
+	}
 	sched := maintain.NewScheduler(states, maintain.Options{
-		Budget:     p.MaintenanceBudget,
+		Budget:     budget,
 		Monolithic: p.MonolithicMaintenance,
 	})
 	p.sched = sched
@@ -274,12 +354,37 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	// run their rebuild tasks under the budget from the very next tick.
 	// Called only where the writer is quiescent with respect to targets.
 	sp, _ := p.Engine.(maintain.StateProvider)
+	targetsChanged := false
 	syncTargets := func() {
-		if sp != nil {
-			sched.SyncTargets(sp.MaintainStates())
+		if sp != nil && sched.SyncTargets(sp.MaintainStates()) {
+			targetsChanged = true
 		}
 	}
 	pt, _ := p.Engine.(PostTicker)
+
+	// Result cache: enabled only when dirty regions actually flow to the
+	// scheduler — a StateProvider's per-shard sub-meshes, or a single
+	// target whose mesh supports both dirty tracking and pinned
+	// snapshots (the same condition maintainStates uses for budget
+	// slicing). Without that stream the cache could never invalidate.
+	var cache *ResultCache
+	if p.CacheSize > 0 {
+		_, dmOK := p.Mesh.(maintain.DirtyMesh)
+		_, pmOK := p.Mesh.(pinnedMesh)
+		if sp != nil || (dmOK && pmOK) {
+			cache = NewResultCache(p.CacheSize)
+		}
+	}
+	p.cache = cache
+	// dirtyRegions buffers the regions the scheduler's Tick collects
+	// (writer goroutine only); the writer feeds them to cache.Advance
+	// right after each tick.
+	var dirtyRegions []mesh.DirtyRegion
+	if cache != nil {
+		sched.SetDirtyObserver(func(d mesh.DirtyRegion) {
+			dirtyRegions = append(dirtyRegions, d)
+		})
+	}
 
 	report := &PipelineReport{
 		RangeResults: make([][]int32, len(queries)),
@@ -300,6 +405,8 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	drained := make(chan struct{})
 	writerDone := make(chan struct{})
 	steps := 0
+	tuner, _ := p.Engine.(CrawlTuner)
+	crawlInstalled := false
 	go func() {
 		defer close(writerDone)
 		for step := 0; ; step++ {
@@ -319,6 +426,32 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 			if pt != nil {
 				pt.PostTick()
 				syncTargets()
+			}
+			if cache != nil {
+				// Apply this tick's collected dirt, then mark the cache
+				// valid through the epoch just published. A target swap
+				// (re-partition, pressure rebalance) replaces the dirty
+				// sources wholesale, so it flushes instead.
+				if targetsChanged {
+					cache.Flush()
+					targetsChanged = false
+				}
+				cache.Advance(dirtyRegions, p.Mesh.Epoch())
+				dirtyRegions = dirtyRegions[:0]
+			}
+			if ctl != nil {
+				dec := ctl.TickDecide()
+				sched.SetBudget(dec.Budget)
+				if dec.CrawlChanged && tuner != nil {
+					// CrawlTuner setters are not safe concurrently with
+					// queries; Exclusive drains every target and holds all
+					// write locks, which excludes exactly the queries that
+					// could observe the torn budget. The controller's
+					// cooldown keeps these drains rare.
+					b := CrawlBudget{MaxVisited: dec.CrawlMaxVisited}
+					sched.Exclusive(func() { tuner.SetCrawlBudget(b) })
+					crawlInstalled = dec.CrawlMaxVisited != 0
+				}
 			}
 			if p.Maintain != nil {
 				sched.Exclusive(func() { p.Maintain(step) })
@@ -341,6 +474,8 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	if workers > 0 {
 		pm, _ := p.Mesh.(pinnedMesh)
 		var next atomic.Int64
+		var inflight atomic.Int64
+		var sheds atomic.Int64
 		var wg sync.WaitGroup
 		cursors := make([]Cursor, workers)
 		total := len(queries) + len(probes)
@@ -354,6 +489,7 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 				defer wg.Done()
 				kc, _ := cur.(KNNCursor)
 				pc, _ := cur.(PinnedCursor)
+				br, _ := cur.(KNNBoundReporter)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= total {
@@ -367,12 +503,58 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					// lock, silently hiding every maintenance stall from
 					// the latency distribution.)
 					t0 := time.Now()
+					var trace QueryTrace
+					var res []int32
+
+					// Cache fast path: a hit replays an exact result and
+					// bypasses both the engine and admission (it holds no
+					// engine resources to shed).
+					if cache != nil {
+						var epoch uint64
+						var hit bool
+						if i < len(queries) {
+							res, epoch, hit = cache.GetRange(queries[i])
+						} else {
+							q := probes[i-len(queries)]
+							res, epoch, hit = cache.GetKNN(q.P, q.K)
+						}
+						if hit {
+							trace.Cached = true
+							trace.Epoch = epoch
+							trace.Latency = time.Since(t0)
+							trace.HeadEpoch = p.Mesh.Epoch()
+							if ctl != nil {
+								ctl.Observe(trace.Latency)
+							}
+							p.record(report, i, len(queries), res, trace)
+							continue
+						}
+						res = nil
+					}
+
+					// Admission control: under an SLO the in-flight window
+					// is workers >> shift; a query that would exceed it is
+					// shed with an honest trace instead of queued.
+					if ctl != nil {
+						limit := int64(AdmissionLimit(workers, ctl.WindowShift()))
+						if inflight.Add(1) > limit {
+							inflight.Add(-1)
+							sheds.Add(1)
+							trace.Shed = true
+							trace.Latency = time.Since(t0)
+							trace.HeadEpoch = p.Mesh.Epoch()
+							p.record(report, i, len(queries), nil, trace)
+							continue
+						}
+					}
 					fallback := false
 					if single != nil {
 						fallback = single.BeginQuery() && pm != nil
 					}
-					var trace QueryTrace
-					var res []int32
+					// ball2 is the kNN invalidation ball for the cache:
+					// the squared k-th-best distance of the fresh result.
+					ball2 := infBall2
+					haveBall := false
 					switch {
 					case fallback:
 						// The engine's index is mid-maintenance-slice:
@@ -385,6 +567,10 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 						} else {
 							q := probes[i-len(queries)]
 							res = ScanKNNPositions(pos, q.P, q.K, nil)
+							if len(res) >= q.K && q.K > 0 {
+								ball2 = pos[res[q.K-1]].Dist2(q.P)
+							}
+							haveBall = true
 						}
 						pm.UnpinPositions(epoch)
 						trace.Epoch = epoch
@@ -393,6 +579,9 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					default:
 						q := probes[i-len(queries)]
 						res = kc.KNN(q.P, q.K, nil)
+						if br != nil {
+							ball2, haveBall = br.LastKNNBound2()
+						}
 					}
 					trace.Latency = time.Since(t0)
 					if !fallback && pc != nil {
@@ -407,13 +596,27 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					if single != nil {
 						single.EndQuery()
 					}
-					if i < len(queries) {
-						report.RangeResults[i] = res
-						report.RangeTraces[i] = trace
-					} else {
-						report.KNNResults[i-len(queries)] = res
-						report.KNNTraces[i-len(queries)] = trace
+					if ctl != nil {
+						inflight.Add(-1)
+						ctl.Observe(trace.Latency)
 					}
+					// Cache fill: only exact results whose answer epoch is
+					// known (fallback scans pin it; engine paths report it
+					// through PinnedCursor), and for kNN only when the
+					// invalidation ball is known too. Truncated is the
+					// exactness signal — an untruncated crawl still reports
+					// Visited as work accounting. Put itself rejects entries
+					// that already predate the cache's epoch.
+					if cache != nil && !trace.Coverage.Truncated &&
+						(fallback || pc != nil) {
+						if i < len(queries) {
+							cache.PutRange(queries[i], res, trace.Epoch)
+						} else if haveBall {
+							q := probes[i-len(queries)]
+							cache.PutKNN(q.P, q.K, res, trace.Epoch, ball2)
+						}
+					}
+					p.record(report, i, len(queries), res, trace)
 				}
 			}(cursors[w])
 		}
@@ -421,9 +624,15 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 		for _, cur := range cursors {
 			cur.Close()
 		}
+		report.Sheds = sheds.Load()
 	}
 	close(drained)
 	<-writerDone
+
+	// The serving run is over: stamp Wall before the shutdown drain so
+	// throughput numbers measure serving, not teardown.
+	report.Steps = steps
+	report.Wall = time.Since(start)
 
 	// Drain any maintenance task a budget left mid-flight: Run must not
 	// return with an epoch-mixed index. A later Run builds fresh
@@ -434,10 +643,26 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 	// writer's final step may have swapped targets after its last sync,
 	// and the drain must cover the replacements (the writer has exited,
 	// so this goroutine is the sole target mutator now).
+	drainStart := time.Now()
 	syncTargets()
 	sched.Drain()
-
-	report.Steps = steps
-	report.Wall = time.Since(start)
+	if crawlInstalled && tuner != nil {
+		// The controller owns the crawl budget during Run; leave the
+		// engine in exact mode, not whatever the last overload set. The
+		// drain above completed every task and no queries are in flight.
+		tuner.SetCrawlBudget(CrawlBudget{})
+	}
+	report.DrainWall = time.Since(drainStart)
 	return report
+}
+
+// record stores one query's result and trace into the report.
+func (p *Pipeline) record(report *PipelineReport, i, nRange int, res []int32, trace QueryTrace) {
+	if i < nRange {
+		report.RangeResults[i] = res
+		report.RangeTraces[i] = trace
+	} else {
+		report.KNNResults[i-nRange] = res
+		report.KNNTraces[i-nRange] = trace
+	}
 }

@@ -20,6 +20,7 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 
 	c.epoch = r.sm.Epoch()
 	c.cov = query.CrawlCoverage{}
+	c.ballOK = false
 	r.knnQueries.Add(1)
 	if k <= 0 || len(r.engines) == 0 {
 		return out
@@ -52,6 +53,8 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 		c.scanShard(sd.s, p, k, midTask)
 		r.states[sd.s].EndQuery()
 	}
+	// Capture the kNN ball before AppendSorted drains the heap.
+	c.ball2, c.ballOK = c.kb.Bound(), true
 	return c.kb.AppendSorted(out)
 }
 

@@ -266,8 +266,9 @@ func (r *Router) SetCrawlWorkers(n int) {
 // SetCrawlBudget implements query.CrawlTuner by forwarding to every shard
 // engine that is itself a CrawlTuner. The budget applies per shard query,
 // so a range query fanned out to f shards may expand up to f×MaxVisited
-// vertices; the cursor's LastCoverage sums the per-shard reports. Not
-// safe concurrently with queries.
+// vertices; the cursor's LastCoverage merges the per-shard reports under
+// CrawlCoverage.Add's contract — counters sum, Truncated ORs, BoundGap
+// takes the max. Not safe concurrently with queries.
 func (r *Router) SetCrawlBudget(b query.CrawlBudget) {
 	for _, eng := range r.engines {
 		if ct, ok := eng.(query.CrawlTuner); ok {
@@ -322,6 +323,8 @@ type Cursor struct {
 	order   []shardDist
 	epoch   uint64
 	cov     query.CrawlCoverage
+	ball2   float64
+	ballOK  bool
 }
 
 // shardDist orders shards by box distance for the kNN best-first visit.
@@ -420,11 +423,18 @@ func (c *Cursor) refresh(s int) {
 // LastEpoch implements query.PinnedCursor.
 func (c *Cursor) LastEpoch() uint64 { return c.epoch }
 
-// LastCoverage implements query.CoverageReporter: the summed crawl
-// coverage of the shards the cursor's most recent query fanned out to
-// (Truncated is the OR, BoundGap the max). Owned-scan fallbacks are exact
-// and contribute nothing.
+// LastCoverage implements query.CoverageReporter: the merged crawl
+// coverage of the shards the cursor's most recent query fanned out to,
+// under CrawlCoverage.Add's aggregation contract (counters sum, Truncated
+// is the OR, BoundGap the max). Owned-scan fallbacks are exact and
+// contribute nothing.
 func (c *Cursor) LastCoverage() query.CrawlCoverage { return c.cov }
+
+// LastKNNBound2 implements query.KNNBoundReporter: the global k-th-best
+// squared distance of the cursor's most recent KNN, captured from the
+// merge heap before it is drained (+Inf when the whole mesh held fewer
+// than k vertices).
+func (c *Cursor) LastKNNBound2() (float64, bool) { return c.ball2, c.ballOK }
 
 // Close implements query.Cursor: close every shard cursor, folding their
 // statistics into the shard engines.

@@ -71,7 +71,44 @@ type TargetStats = maintain.TargetStats
 // against.
 type PinnedCursor = query.PinnedCursor
 
-// LatencyStats summarizes trace latencies (mean and the q-quantile).
+// SLO-driven serving (DESIGN.md §14): setting Pipeline.TargetLatency
+// turns the pipeline into a closed control loop — each writer tick
+// compares the sliding p99 of served queries against the target and
+// adapts the maintenance budget (primary actuator), the admission window
+// (excess queries are shed with an honest QueryTrace instead of queuing
+// into the latency distribution), and, under sustained overload, the
+// per-query crawl budget (approximate results with honest CrawlCoverage
+// instead of missed SLOs; relaxed back to exact once the target holds).
+// Setting Pipeline.CacheSize enables the epoch-keyed result cache:
+// repeat queries answer bit-equal to fresh execution at a provably valid
+// epoch, invalidated by the dirty-region stream the maintenance
+// scheduler already collects.
+
+// SLOStats is the SLO controller's state and counters for one Pipeline
+// run — target, sliding p99, the adaptive budget and its clamp range,
+// the admission shift and crawl budget, and the tick/overload/
+// tightening/relaxation counters. Retrieve it with Pipeline.SLOStats.
+type SLOStats = query.SLOStats
+
+// CacheStats is the result cache's counters for one Pipeline run — hits,
+// misses, invalidations, flushes and the current epoch floor. Retrieve
+// it with Pipeline.CacheStats.
+type CacheStats = query.CacheStats
+
+// ResultCache is the epoch-keyed result cache itself, exported for
+// standalone (single-writer) use outside a Pipeline; NewResultCache
+// builds one with the given capacity (<= 0 uses DefaultCacheSize).
+type ResultCache = query.ResultCache
+
+// NewResultCache builds a standalone result cache.
+func NewResultCache(size int) *ResultCache { return query.NewResultCache(size) }
+
+// DefaultCacheSize is the capacity used when ResultCache is built with
+// size <= 0.
+const DefaultCacheSize = query.DefaultCacheSize
+
+// LatencyStats summarizes trace latencies (mean and the q-quantile),
+// excluding shed queries — they were never served.
 func LatencyStats(traces []QueryTrace, q float64) (mean, quantile time.Duration) {
 	return query.LatencyStats(traces, q)
 }

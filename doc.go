@@ -171,6 +171,28 @@
 // same machinery to shift boundaries away from query-hot shards.
 // See DESIGN.md §10 and §13.
 //
+// # Distributed serving
+//
+// The shard boundary also crosses the wire: each shard can be served by
+// its own process (cmd/shardserver, or NewDistCluster in-process) and
+// queried through a stateless router tier that owns no mesh data — only
+// the shard addresses and cached routing metadata:
+//
+//	cl := octopus.NewDistCluster(sm, factory)
+//	addrs, _ := cl.ServeTCP()
+//	rt := octopus.NewDistRouter(addrs, octopus.DistRetryPolicy{})
+//	ids, epoch, err := rt.Range(box, nil)
+//	nn, _, err := rt.KNN(p, 10, nil)
+//
+// Answers are bit-equal to the in-process sharded engine's: range fan-out
+// and kNN best-first order come from the same planner, and kNN scans each
+// shard server-side under the shipped KBest widening state. Every
+// response carries the shard's epoch; the router merges only responses
+// proving a common epoch (re-querying on skew, bounded), and a shard that
+// stays unreachable after the retry budget fails the query with an error
+// naming it — never a silently narrowed result. Any number of router
+// instances may serve one cluster. See DESIGN.md §15.
+//
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the
 // analytical cost model of §IV-G, and the synthetic dataset generators

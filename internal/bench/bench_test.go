@@ -76,7 +76,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 28 {
+	if len(exps) != 29 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/dist"
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/meshgen"
+	"octopus/internal/query"
+	"octopus/internal/shard"
+	"octopus/internal/sim"
+	"octopus/internal/workload"
+)
+
+// Dist is the wire-boundary serving experiment (DESIGN.md §15): the
+// stateless router tier over shard servers, compared answer-for-answer
+// against the in-process shard.Router on an identically built and
+// identically deformed mesh.
+//
+// One table, three rows:
+//
+//   - loopback/static and tcp/static run the same seeded range + kNN
+//     workload over both transports on the pristine mesh;
+//   - loopback/deforming interleaves publish/maintain steps with queries,
+//     so every step's first query crosses the epoch-skew gate (the
+//     skew-requeries cell counts exactly one re-run per step).
+//
+// The mismatch, fan-out, widening and skew counters are pure functions of
+// the dataset, the shard cut and the workload seed — machine-independent
+// and CI-gated (mismatches must stay 0: the distributed tier is bit-equal
+// or it is broken). The rpc-mean latency column is wall clock and only
+// indicative.
+func Dist(cfg Config) ([]*Table, error) {
+	return distTables(cfg, meshgen.NeuroL2, 4)
+}
+
+// distTables is the parameterized body of Dist.
+func distTables(cfg Config, ds meshgen.Dataset, shards int) ([]*Table, error) {
+	t := &Table{
+		ID:    "dist-wire",
+		Title: fmt.Sprintf("Distributed serving on %s (K=%d): wire-boundary router vs in-process, both transports", ds, shards),
+		Columns: []string{
+			"transport/mode", "queries", "range-fanout[shards/q]", "knn-scan[shards/q]",
+			"widenings/q", "skew-requeries", "retries", "mismatches", "rpc-mean[us]",
+		},
+	}
+
+	// Two identical meshes: the in-process reference router answers over
+	// one, the cluster's shard servers own the other. Bit-equality between
+	// the two sides is the whole point, so they must not share storage.
+	factory := func(m *mesh.Mesh) query.ParallelKNNEngine { return core.New(m) }
+	m1, err := meshgen.Build(ds, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sm1, err := shard.NewMesh(m1, shards, shard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sm1.EnableSnapshots()
+	ref := shard.NewRouter(sm1, factory)
+
+	m2, err := meshgen.Build(ds, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sm2, err := shard.NewMesh(m2, shards, shard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cl := dist.NewCluster(sm2, factory)
+	defer cl.Close()
+
+	nQ := cfg.Steps * cfg.QueriesPerStep
+	if nQ < 32 {
+		nQ = 32
+	}
+	if nQ > 256 {
+		nQ = 256
+	}
+
+	// Static rows: same pristine geometry, same seeded workload, one row
+	// per transport (fresh router each, so the counters are per-row).
+	lb := dist.NewLoopback()
+	addrs := cl.ServeLoopback(lb)
+	if err := distStaticRow(t, "loopback/static", cfg, m1, ref, lb, addrs, nQ); err != nil {
+		return nil, err
+	}
+	cl.Close()
+	addrs, err = cl.ServeTCP()
+	if err != nil {
+		return nil, err
+	}
+	if err := distStaticRow(t, "tcp/static", cfg, m1, ref, &dist.TCPTransport{}, addrs, nQ); err != nil {
+		return nil, err
+	}
+	cl.Close()
+
+	// Deforming row, over loopback: each step publishes a deformation to
+	// both sides, maintains both, then queries through the (now stale)
+	// router metadata — the coherence gate must re-pin the new epoch and
+	// the answers must stay bit-equal.
+	lb = dist.NewLoopback()
+	addrs = cl.ServeLoopback(lb)
+	if err := distDeformRow(t, cfg, ds, m1, sm1, ref, m2, cl, lb, addrs); err != nil {
+		return nil, err
+	}
+
+	t.Notes = append(t.Notes,
+		"mismatches = distributed answers differing from the in-process shard.Router (bit-equality: sorted range ids, (dist,id)-ordered kNN); must be 0",
+		"fan-out/scan/widening/skew counters are workload-deterministic (fixed seed, no wall clock) and CI-gated",
+		"skew-requeries in the deforming row = one per published step: the first query after each publish crosses the epoch gate",
+		"rpc-mean = wall clock per distributed query (fan-out included), indicative only — loopback measures protocol overhead, tcp adds real socket hops",
+	)
+	return []*Table{t}, nil
+}
+
+// distStaticRow runs the seeded workload over one transport and appends
+// the row: counters from the router, mismatches from comparing every
+// answer against the in-process reference.
+func distStaticRow(t *Table, label string, cfg Config, m1 *mesh.Mesh, ref *shard.Router, tr dist.Transport, addrs []string, nQ int) error {
+	rt := dist.NewRouter(tr, addrs, dist.RetryPolicy{})
+	defer rt.Close()
+	if err := rt.Refresh(); err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(m1, 4096, cfg.Seed)
+	queries := gen.UniformQueries(nQ, cfg.Selectivity)
+	probes := gen.KNNQueries(nQ/4, 4, 16, 0.05)
+
+	mismatches, elapsed, err := distCompare(rt, ref, m1, queries, probes)
+	if err != nil {
+		return err
+	}
+	distAddRow(t, label, rt.Stats(), len(queries)+len(probes), mismatches, elapsed)
+	return nil
+}
+
+// distDeformRow drives cfg.Steps published deformation steps on both
+// sides in lockstep, querying after each publish+maintain.
+func distDeformRow(t *Table, cfg Config, ds meshgen.Dataset, m1 *mesh.Mesh, sm1 *shard.Mesh, ref *shard.Router, m2 *mesh.Mesh, cl *dist.Cluster, tr dist.Transport, addrs []string) error {
+	deformer, err := sim.DefaultDeformer(ds, sim.DefaultAmplitude)
+	if err != nil {
+		return err
+	}
+	rt := dist.NewRouter(tr, addrs, dist.RetryPolicy{})
+	defer rt.Close()
+	// Warm the metadata at the pre-deform epoch so every published step
+	// below is first seen through the skew gate.
+	if err := rt.Refresh(); err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(m1, 4096, cfg.Seed+1)
+
+	var mismatches int
+	var elapsed time.Duration
+	var queries int
+	for step := 0; step < cfg.Steps; step++ {
+		deformer.Step(step, m1.Positions())
+		sm1.Deform(func([]geom.Vec3) {})
+		deformer.Step(step, m2.Positions())
+		if err := cl.DeformErr(func([]geom.Vec3) {}); err != nil {
+			return err
+		}
+		ref.Step()
+		if err := cl.MaintainToHead(); err != nil {
+			return err
+		}
+		qs := gen.UniformQueries(cfg.QueriesPerStep, cfg.Selectivity)
+		ps := gen.KNNQueries(cfg.QueriesPerStep/4+1, 4, 16, 0.05)
+		mm, el, err := distCompare(rt, ref, m1, qs, ps)
+		if err != nil {
+			return err
+		}
+		mismatches += mm
+		elapsed += el
+		queries += len(qs) + len(ps)
+	}
+	distAddRow(t, "loopback/deforming", rt.Stats(), queries, mismatches, elapsed)
+	return nil
+}
+
+// distCompare answers every query through the distributed router, timing
+// it, and through the in-process reference, counting answers that differ.
+func distCompare(rt *dist.Router, ref *shard.Router, m1 *mesh.Mesh, queries []geom.AABB, probes []query.KNNQuery) (mismatches int, elapsed time.Duration, err error) {
+	var got, want []int32
+	for _, q := range queries {
+		start := time.Now()
+		got, _, err = rt.Range(q, got[:0])
+		elapsed += time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		want = ref.Query(q, want[:0])
+		if query.Diff(got, want) != "" {
+			mismatches++
+		}
+	}
+	for _, p := range probes {
+		start := time.Now()
+		got, _, err = rt.KNN(p.P, p.K, got[:0])
+		elapsed += time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		want = ref.KNN(p.P, p.K, want[:0])
+		if len(got) != len(want) {
+			mismatches++
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				mismatches++
+				break
+			}
+		}
+	}
+	return mismatches, elapsed, nil
+}
+
+// distAddRow folds a router's counters into one table row.
+func distAddRow(t *Table, label string, st dist.RouterStats, queries, mismatches int, elapsed time.Duration) {
+	rangeFanout, knnScan, widenings := 0.0, 0.0, 0.0
+	if st.RangeQueries > 0 {
+		rangeFanout = float64(st.RangeFanout) / float64(st.RangeQueries)
+	}
+	if st.KNNQueries > 0 {
+		knnScan = float64(st.KNNScanned) / float64(st.KNNQueries)
+		widenings = float64(st.Widenings) / float64(st.KNNQueries)
+	}
+	rpcMean := 0.0
+	if queries > 0 {
+		rpcMean = float64(elapsed.Microseconds()) / float64(queries)
+	}
+	t.AddRow(label, queries, rangeFanout, knnScan, widenings,
+		st.SkewRequeries, st.Retries, mismatches, rpcMean)
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// TestDistExperimentSmoke runs the wire-boundary serving experiment at
+// test scale and pins the deterministic cells the CI trend gate relies
+// on: zero bit-equality mismatches on every transport and mode, no
+// retries on a healthy cluster, and exactly one skew re-query per
+// published step in the deforming row.
+func TestDistExperimentSmoke(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Steps = 2
+	tables, err := Dist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "dist-wire" {
+		t.Fatalf("experiment did not produce the dist-wire table: %+v", tables)
+	}
+	tab := tables[0]
+	tab.Render(io.Discard)
+
+	cell := func(row, col string) float64 {
+		ci := -1
+		for i, c := range tab.Columns {
+			if c == col {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			t.Fatalf("no column %q", col)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == row {
+				v, err := strconv.ParseFloat(r[ci], 64)
+				if err != nil {
+					t.Fatalf("%s/%s: %q not numeric", row, col, r[ci])
+				}
+				return v
+			}
+		}
+		t.Fatalf("no row %q", row)
+		return 0
+	}
+
+	for _, row := range []string{"loopback/static", "tcp/static", "loopback/deforming"} {
+		if got := cell(row, "mismatches"); got != 0 {
+			t.Errorf("%s: %v answers differ from the in-process router — the wire tier is not bit-equal", row, got)
+		}
+		if got := cell(row, "retries"); got != 0 {
+			t.Errorf("%s: %v retries on a healthy cluster", row, got)
+		}
+		if got := cell(row, "queries"); got <= 0 {
+			t.Errorf("%s: no queries ran", row)
+		}
+	}
+	for _, row := range []string{"loopback/static", "tcp/static"} {
+		if got := cell(row, "skew-requeries"); got != 0 {
+			t.Errorf("%s: %v skew re-queries on a static mesh", row, got)
+		}
+	}
+	if got := cell("loopback/deforming", "skew-requeries"); got != float64(cfg.Steps) {
+		t.Errorf("deforming skew-requeries = %v, want one per published step (%d)", got, cfg.Steps)
+	}
+	// The loopback and TCP rows run the identical workload over identical
+	// geometry: their plan-derived counters must agree exactly.
+	for _, col := range []string{"range-fanout[shards/q]", "knn-scan[shards/q]", "widenings/q"} {
+		if a, b := cell("loopback/static", col), cell("tcp/static", col); a != b {
+			t.Errorf("%s differs across transports: loopback %v, tcp %v", col, a, b)
+		}
+	}
+}

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"fig15", "deforming meshes: response time and speedup", Fig15},
 		{"ablation-layout", "ablation: vertex layout effect on OCTOPUS (DESIGN.md §7)", AblationLayout},
 		{"crawl", "extension: parallel multi-seed crawl scaling and the budgeted approximate mode (DESIGN.md §12)", Crawl},
+		{"dist", "extension: wire-boundary serving — stateless router over shard servers, bit-equality and coherence counters vs in-process (DESIGN.md §15)", Dist},
 		{"hybrid", "extension: model-routed hybrid engine across the break-even (§IV-G)", HybridCrossover},
 		{"layout", "extension: vertex-ordering ablation — crawl time and cache-proxy locality (DESIGN.md §12)", Layout},
 		{"knn", "extension: k-nearest-neighbor queries by mesh crawling vs index baselines (DESIGN.md §8)", KNN},

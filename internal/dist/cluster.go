@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/mesh"
+	"octopus/internal/query"
+	"octopus/internal/shard"
+)
+
+// Cluster is the serving-side harness: one Server per shard of a
+// shard.Mesh partition, plus the control plane that keeps them coherent
+// — Deform pushes each step's local position arrays (owned + ghost ring)
+// to every server as Publish RPCs, MaintainToHead drives every server's
+// maintenance target to the published epoch. Both run over the same
+// transport the router queries through, so the ghost exchange crosses
+// the wire in TCP deployments.
+//
+// Cluster implements query.DeformableMesh, so a query.Pipeline can drive
+// a distributed engine like a local one; publish failures are latched
+// (Deform cannot return one) and surfaced through Err.
+//
+// The cluster serves a pinned partition generation: the shard.Mesh must
+// not be restructured or re-partitioned while served. The control plane
+// (Deform, MaintainToHead) is single-goroutine; queries through a Router
+// may run concurrently with it.
+type Cluster struct {
+	sm      *shard.Mesh
+	servers []*Server
+
+	tr    Transport
+	addrs []string
+	tsrvs []*TCPServer
+
+	mu    sync.Mutex
+	conns []Conn
+
+	epoch atomic.Uint64
+	err   atomic.Value // latched control-plane error (Deform)
+
+	buf []geom.Vec3 // publish scatter scratch
+
+	// Deadline bounds each control RPC (publish/maintain); 0 uses 10s.
+	Deadline time.Duration
+}
+
+// NewCluster builds one server per shard of sm with engines from
+// factory. It enables position snapshots on every sub-mesh (publishes
+// must overlap in-flight queries atomically) — like Pipeline.Run, this
+// requires quiescence. The servers are not reachable until ServeLoopback
+// or ServeTCP.
+func NewCluster(sm *shard.Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Cluster {
+	sm.EnableSnapshots()
+	cl := &Cluster{sm: sm}
+	for _, p := range sm.Partition().Parts {
+		cl.servers = append(cl.servers, NewServer(p, factory))
+	}
+	if len(cl.servers) > 0 {
+		cl.epoch.Store(cl.servers[0].part.Mesh.Epoch())
+	}
+	return cl
+}
+
+// NewControlPlane returns a Cluster that drives externally served shard
+// servers — cmd/shardserver processes — instead of owning them: Deform
+// publishes and MaintainToHead fan out over tr to addrs (index = shard
+// id, one per shard of sm). The caller's sm must be built from the same
+// deterministic dataset and shard count as the servers' (the partition
+// is a pure function of both), and the servers must still be at epoch 0.
+// Servers returns nil; do not call ServeLoopback/ServeTCP.
+func NewControlPlane(sm *shard.Mesh, tr Transport, addrs []string) *Cluster {
+	sm.EnableSnapshots()
+	cl := &Cluster{sm: sm, tr: tr}
+	cl.addrs = append(cl.addrs, addrs...)
+	cl.conns = make([]Conn, len(addrs))
+	if parts := sm.Partition().Parts; len(parts) > 0 {
+		cl.epoch.Store(parts[0].Mesh.Epoch())
+	}
+	return cl
+}
+
+// Servers returns the per-shard servers, in shard order.
+func (cl *Cluster) Servers() []*Server { return cl.servers }
+
+// Mesh returns the sharded mesh the cluster serves.
+func (cl *Cluster) Mesh() *shard.Mesh { return cl.sm }
+
+// Addrs returns the serving addresses, in shard order (empty before
+// ServeLoopback/ServeTCP).
+func (cl *Cluster) Addrs() []string { return append([]string(nil), cl.addrs...) }
+
+// ServeLoopback registers every server with lb under "shard-<i>" and
+// wires the control plane through it. Returns the addresses in shard
+// order.
+func (cl *Cluster) ServeLoopback(lb *Loopback) []string {
+	cl.addrs = cl.addrs[:0]
+	for i, srv := range cl.servers {
+		addr := fmt.Sprintf("shard-%d", i)
+		lb.Register(addr, srv)
+		cl.addrs = append(cl.addrs, addr)
+	}
+	cl.tr = lb
+	cl.conns = make([]Conn, len(cl.servers))
+	return cl.Addrs()
+}
+
+// ServeTCP starts one TCP listener per server on 127.0.0.1 (ephemeral
+// ports) and wires the control plane through a TCPTransport. Returns the
+// addresses in shard order; Close stops the listeners.
+func (cl *Cluster) ServeTCP() ([]string, error) {
+	cl.addrs = cl.addrs[:0]
+	for i, srv := range cl.servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("dist: listen for shard %d: %w", i, err)
+		}
+		ts := NewTCPServer(ln, srv)
+		cl.tsrvs = append(cl.tsrvs, ts)
+		cl.addrs = append(cl.addrs, ts.Addr())
+		go ts.Serve()
+	}
+	cl.tr = &TCPTransport{}
+	cl.conns = make([]Conn, len(cl.servers))
+	return cl.Addrs(), nil
+}
+
+// KillShard severs shard i's TCP serving — the listener and its live
+// connections — standing in for a killed shard process in the fault
+// drills. The shard's state survives but stays unreachable for the
+// cluster's lifetime; loopback-served clusters use Loopback.Kill
+// instead.
+func (cl *Cluster) KillShard(i int) {
+	if i >= 0 && i < len(cl.tsrvs) {
+		cl.tsrvs[i].Stop()
+	}
+}
+
+// Close stops the TCP servers (if any) and drops the control-plane
+// connections.
+func (cl *Cluster) Close() {
+	for _, ts := range cl.tsrvs {
+		ts.Stop()
+	}
+	cl.tsrvs = nil
+	cl.mu.Lock()
+	for i, c := range cl.conns {
+		if c != nil {
+			c.Close()
+			cl.conns[i] = nil
+		}
+	}
+	cl.mu.Unlock()
+}
+
+// EnableSnapshots implements query.DeformableMesh (a no-op — NewCluster
+// already enabled them).
+func (cl *Cluster) EnableSnapshots() {}
+
+// Epoch implements query.DeformableMesh: the number of published steps.
+func (cl *Cluster) Epoch() uint64 { return cl.epoch.Load() }
+
+// Err returns the latched control-plane error: the first publish or
+// maintenance fan-out that failed (nil while the cluster is healthy).
+// Deform cannot return an error (the DeformableMesh contract), so a
+// pipeline run over a degraded cluster checks this after Run.
+func (cl *Cluster) Err() error {
+	if v := cl.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Deform implements query.DeformableMesh: apply fn to the global
+// positions and publish the step to every server — each shard's full
+// local position array, ghosts included. A failed publish latches into
+// Err and leaves the affected servers at the old epoch; the router's
+// epoch gate then refuses to merge them with the advanced ones, so a
+// half-published step degrades to skew errors, never to torn results.
+func (cl *Cluster) Deform(fn func(pos []geom.Vec3)) {
+	if err := cl.DeformErr(fn); err != nil {
+		cl.err.CompareAndSwap(nil, err)
+	}
+}
+
+// DeformErr is Deform with the error returned (the control plane's
+// native form).
+func (cl *Cluster) DeformErr(fn func(pos []geom.Vec3)) error {
+	global := cl.sm.Global().Positions()
+	fn(global)
+	epoch := cl.epoch.Add(1)
+	for i, p := range cl.sm.Partition().Parts {
+		cl.buf = cl.buf[:0]
+		for _, g := range p.ToGlobal {
+			cl.buf = append(cl.buf, global[g])
+		}
+		resp, err := cl.call(i, opPublish, encodePublishReq(publishReq{Epoch: epoch, Pos: cl.buf}))
+		if err != nil {
+			return fmt.Errorf("dist: publish epoch %d to shard %d: %w", epoch, i, err)
+		}
+		e, err := decodeEpochResp(resp)
+		if err != nil {
+			return err
+		}
+		if e.Epoch != epoch {
+			return fmt.Errorf("dist: shard %d published epoch %d, want %d", i, e.Epoch, epoch)
+		}
+	}
+	return nil
+}
+
+// MaintainToHead drives every server's maintenance target to the
+// published head (the stop-the-world maintenance shim, one Maintain RPC
+// per shard).
+func (cl *Cluster) MaintainToHead() error {
+	if cl.conns == nil {
+		return fmt.Errorf("dist: cluster is not serving (call ServeLoopback or ServeTCP)")
+	}
+	for i := range cl.addrs {
+		resp, err := cl.call(i, opMaintain, encodeMaintainReq())
+		if err != nil {
+			return fmt.Errorf("dist: maintain shard %d: %w", i, err)
+		}
+		if _, err := decodeEpochResp(resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// call performs one control RPC to shard i, dialing lazily and redialing
+// once on a transport failure (control RPCs are not otherwise retried —
+// a dead shard must surface, not be papered over).
+func (cl *Cluster) call(i int, op byte, req []byte) ([]byte, error) {
+	d := cl.Deadline
+	if d <= 0 {
+		d = 10 * time.Second
+	}
+	deadline := time.Now().Add(d)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := cl.conn(i)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := conn.Call(op, req, deadline)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !IsTransportError(err) {
+			return nil, err
+		}
+		cl.dropConn(i, conn)
+	}
+	return nil, lastErr
+}
+
+func (cl *Cluster) conn(i int) (Conn, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.conns == nil {
+		return nil, fmt.Errorf("dist: cluster is not serving (call ServeLoopback or ServeTCP)")
+	}
+	if cl.conns[i] != nil {
+		return cl.conns[i], nil
+	}
+	c, err := cl.tr.Dial(cl.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	cl.conns[i] = c
+	return c, nil
+}
+
+func (cl *Cluster) dropConn(i int, c Conn) {
+	cl.mu.Lock()
+	if cl.conns[i] == c {
+		cl.conns[i] = nil
+	}
+	cl.mu.Unlock()
+	c.Close()
+}

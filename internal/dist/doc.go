@@ -1,0 +1,57 @@
+// Package dist puts a network boundary at the shard.Router seam: shard
+// servers own sub-meshes (each a maintain.TargetState-driven engine over
+// one shard.Part) and answer range/kNN/epoch RPCs over a compact binary
+// protocol, while a stateless router tier fans queries out to
+// box-intersecting servers and merges responses under the global
+// query.KBest (dist, id) contract — results bit-equal to the in-process
+// shard.Router. See DESIGN.md §15.
+//
+// The pieces:
+//
+//   - Server wraps one shard.Part: it answers Range and KNN requests
+//     through the shard's engine (owned-filtered, remapped to global
+//     ids), falling back to an exact owned scan of the pinned head
+//     positions when the engine is mid-maintenance or stale — the same
+//     decision procedure as the in-process router, so the two
+//     architectures agree answer for answer. kNN requests carry the
+//     router's current global bound, and the server runs the full
+//     widening loop locally, returning its owned candidates capped to
+//     the local top-k (capping cannot change the global top-k: a dropped
+//     candidate is dominated by k returned ones under the (dist, id)
+//     total order).
+//
+//   - Router is the stateless tier: it holds no mesh data, only cached
+//     shard metadata (owned boxes and the common epoch) refreshed from
+//     the servers. Fan-out and kNN visit order come from the same
+//     shard.PlanRangeFanout / shard.PlanKNNOrder the in-process cursor
+//     uses, so routing decisions are provably identical.
+//
+//   - Coherence: every response carries the shard's position epoch. The
+//     router merges only responses proving the common epoch its metadata
+//     promised; a skewed response (the shard published a step the router
+//     has not seen) discards the partial merge, refreshes the metadata,
+//     and re-runs the query — bounded rounds, then an honest
+//     ErrEpochSkew. Servers double-check their epoch after executing
+//     (epochs are monotonic, so equal before-and-after pins the answer
+//     epoch), and never answer against geometry the router did not ask
+//     about.
+//
+//   - Transports: an in-process Loopback (deterministic tests, the bench,
+//     and fault drills via Kill/Revive) and TCP (length-prefixed frames,
+//     per-call deadlines), both behind the Transport interface. The
+//     router retries transport failures with exponential backoff under
+//     RetryPolicy and returns an honest error when a shard stays
+//     unreachable — it never silently narrows a result.
+//
+//   - Cluster is the serving-side harness: it builds one Server per
+//     shard of a shard.Mesh and owns the publish fan-out — Deform
+//     applies a step to the global positions and pushes each shard's
+//     full local position array (owned plus ghost ring — the ghost
+//     exchange) to its server as a Publish RPC, then MaintainToHead
+//     drives every server's maintenance target to the published epoch.
+//
+// The distributed tier serves a pinned partition generation: live
+// re-partitioning (shard.Mesh restructuring, pressure rebalancing)
+// remains an in-process feature — a Cluster must be rebuilt to pick up a
+// new partition.
+package dist

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+)
+
+// Engine adapts a Router (and optionally the Cluster control plane) to
+// query.ParallelKNNEngine, so the distributed tier drops into everything
+// built for local engines — ExecuteBatch, the Pipeline, the bench
+// harness. Queries that fail (unreachable shard after retries,
+// persistent epoch skew) return empty results and surface the error
+// through each cursor's LastError (query.ErrorReporter), which the
+// pipeline records as a degraded trace — the distributed contract:
+// honest errors, never silently wrong or partial answers.
+type Engine struct {
+	r    *Router
+	cl   *Cluster
+	name string
+
+	resident *Cursor
+}
+
+// NewEngine wraps r. cl may be nil (a pure query tier); when set, Step
+// drives the cluster's maintenance fan-out, making the engine usable
+// where a local engine's Step would maintain its index (the pipeline's
+// single-target schedule, the stop-the-world loop).
+func NewEngine(r *Router, cl *Cluster) *Engine {
+	name := fmt.Sprintf("Dist[K=%d]", r.Shards())
+	if cl != nil && len(cl.Servers()) > 0 {
+		name += "·" + cl.Servers()[0].Engine().Name()
+	}
+	e := &Engine{r: r, cl: cl, name: name}
+	e.resident = &Cursor{e: e}
+	return e
+}
+
+// Router returns the underlying distributed router.
+func (e *Engine) Router() *Router { return e.r }
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Step implements query.Engine: with an attached cluster it drives every
+// shard server's maintenance to the published head; a fan-out failure
+// latches into the cluster's Err (Step cannot return one) and subsequent
+// queries degrade honestly through the epoch gate.
+func (e *Engine) Step() {
+	if e.cl == nil {
+		return
+	}
+	if err := e.cl.MaintainToHead(); err != nil {
+		e.cl.err.CompareAndSwap(nil, err)
+	}
+}
+
+// Query implements query.Engine through the resident cursor
+// (single-threaded, like every engine's resident path). Failures yield
+// an empty result; check LastError on the resident cursor via
+// ResidentError for the honest outcome.
+func (e *Engine) Query(q geom.AABB, out []int32) []int32 {
+	return e.resident.Query(q, out)
+}
+
+// KNN implements query.KNNEngine through the resident cursor.
+func (e *Engine) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	return e.resident.KNN(p, k, out)
+}
+
+// ResidentError returns the error of the most recent resident-path
+// Query/KNN (nil on success).
+func (e *Engine) ResidentError() error { return e.resident.LastError() }
+
+// NewCursor implements query.ParallelEngine.
+func (e *Engine) NewCursor() query.Cursor { return &Cursor{e: e} }
+
+// MemoryFootprint implements query.Engine: the router tier is stateless
+// — its footprint is the cached metadata, charged nominally.
+func (e *Engine) MemoryFootprint() int64 {
+	return int64(e.r.Shards()) * 56 // one box + epoch entry per shard
+}
+
+// Cursor is the per-goroutine query state over the distributed router.
+// The router itself is safe for concurrent use; the cursor just carries
+// the per-query outcome (epoch, error) the pipeline reads back.
+type Cursor struct {
+	e         *Engine
+	lastEpoch atomic.Uint64
+	lastErr   atomic.Value // error
+}
+
+// Query implements query.Cursor: route through the distributed tier. On
+// failure it returns out unchanged (empty result) and latches the error
+// for LastError — the caller must treat the pair as a degraded answer,
+// not an exact empty one.
+func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
+	res, epoch, err := c.e.r.Range(q, out)
+	c.finish(epoch, err)
+	if err != nil {
+		return out
+	}
+	return res
+}
+
+// KNN implements query.KNNCursor under the same error contract as Query.
+func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
+	res, epoch, err := c.e.r.KNN(p, k, out)
+	c.finish(epoch, err)
+	if err != nil {
+		return out
+	}
+	return res
+}
+
+func (c *Cursor) finish(epoch uint64, err error) {
+	c.lastEpoch.Store(epoch)
+	if err != nil {
+		c.lastErr.Store(errBox{err})
+	} else {
+		c.lastErr.Store(errBox{})
+	}
+}
+
+// errBox lets atomic.Value hold nil-vs-non-nil errors of varying types.
+type errBox struct{ err error }
+
+// LastEpoch implements query.PinnedCursor: the epoch the most recent
+// successful query was exact at (0 after a failure).
+func (c *Cursor) LastEpoch() uint64 { return c.lastEpoch.Load() }
+
+// LastError implements query.ErrorReporter.
+func (c *Cursor) LastError() error {
+	if v := c.lastErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// Close implements query.Cursor.
+func (c *Cursor) Close() {}

@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"octopus/internal/geom"
+)
+
+// Wire protocol (DESIGN.md §15): little-endian, length-delimited by the
+// transport's framing. Every request starts with a version byte so a
+// mixed deployment fails loudly instead of mis-decoding; floats travel as
+// IEEE-754 bits, so distances and positions round-trip bit-exactly — a
+// precondition for the router's results being bit-equal to the
+// in-process shard.Router.
+
+// protoVersion is bumped on any incompatible message change.
+const protoVersion = 1
+
+// RPC op codes (the transport frames carry one per request).
+const (
+	opMeta     = byte(1) // shard metadata: index, owned box, epoch
+	opRange    = byte(2) // range query at a pinned epoch
+	opKNN      = byte(3) // kNN scan at a pinned epoch under a global bound
+	opPublish  = byte(4) // push one step's local positions (ghost exchange)
+	opMaintain = byte(5) // drive the shard's maintenance to its head epoch
+)
+
+// metaResp is the Meta response: the shard's identity and the routing
+// metadata the stateless tier caches.
+type metaResp struct {
+	Shard    int
+	Epoch    uint64
+	NumOwned int
+	Box      geom.AABB
+}
+
+// rangeReq asks for the owned vertices inside Box at exactly Epoch.
+type rangeReq struct {
+	Epoch uint64
+	Box   geom.AABB
+}
+
+// rangeResp answers a rangeReq. Skew reports the server could not answer
+// at the requested epoch; Epoch is then the server's current epoch and
+// IDs is empty — the router refreshes its metadata and re-queries.
+type rangeResp struct {
+	Epoch uint64
+	Skew  bool
+	IDs   []int32
+}
+
+// knnReq asks for the shard's owned kNN candidates at exactly Epoch.
+// Full and Bound2 ship the router's global KBest state at this shard's
+// position in the best-first visit: the heap is not mutated while a
+// shard is scanned, so the server can run the in-process widening loop
+// to completion locally.
+type knnReq struct {
+	Epoch  uint64
+	P      geom.Vec3
+	K      int
+	Full   bool
+	Bound2 float64
+}
+
+// knnCand is one owned candidate: its squared distance to the probe and
+// its global id — exactly what the router's KBest is offered.
+type knnCand struct {
+	D2  float64
+	GID int32
+}
+
+// knnResp answers a knnReq; Skew as in rangeResp. Rounds counts the
+// widening re-queries the server ran (statistics only).
+type knnResp struct {
+	Epoch  uint64
+	Skew   bool
+	Rounds int
+	Cands  []knnCand
+}
+
+// publishReq pushes one deformation step: the shard sub-mesh's full
+// local position array — owned vertices and the ghost ring — as of
+// Epoch. The server's sub-mesh must arrive at exactly Epoch by applying
+// it (publishes are ordered; a gap is a protocol error).
+type publishReq struct {
+	Epoch uint64
+	Pos   []geom.Vec3
+}
+
+// epochResp is the response of Publish and Maintain: the server's
+// resulting epoch (Publish) or the engine's answer epoch (Maintain).
+type epochResp struct {
+	Epoch uint64
+}
+
+// --- encoding ---------------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func appendVec3(b []byte, v geom.Vec3) []byte {
+	b = appendF64(b, v.X)
+	b = appendF64(b, v.Y)
+	return appendF64(b, v.Z)
+}
+func appendBox(b []byte, a geom.AABB) []byte {
+	b = appendVec3(b, a.Min)
+	return appendVec3(b, a.Max)
+}
+
+// reader decodes a message, latching the first error so call sites stay
+// linear; a short buffer is reported, never read past.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: short message decoding %s (%d bytes, offset %d)", what, len(r.b), r.off)
+	}
+}
+
+func (r *reader) u8(what string) byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *reader) vec3(what string) geom.Vec3 {
+	return geom.Vec3{X: r.f64(what), Y: r.f64(what), Z: r.f64(what)}
+}
+
+func (r *reader) box(what string) geom.AABB {
+	return geom.AABB{Min: r.vec3(what), Max: r.vec3(what)}
+}
+
+func (r *reader) bool(what string) bool { return r.u8(what) != 0 }
+
+// done reports decode success and that the message held nothing extra
+// (trailing bytes mean a version skew the leading byte failed to catch).
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("dist: %d trailing bytes after message", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// checkVersion consumes and verifies the leading version byte.
+func (r *reader) checkVersion() {
+	if v := r.u8("version"); r.err == nil && v != protoVersion {
+		r.err = fmt.Errorf("dist: protocol version %d, want %d", v, protoVersion)
+	}
+}
+
+func encodeMetaReq() []byte { return []byte{protoVersion} }
+
+func encodeMetaResp(m metaResp) []byte {
+	b := make([]byte, 0, 1+4+8+4+48)
+	b = append(b, protoVersion)
+	b = appendU32(b, uint32(m.Shard))
+	b = appendU64(b, m.Epoch)
+	b = appendU32(b, uint32(m.NumOwned))
+	return appendBox(b, m.Box)
+}
+
+func decodeMetaResp(b []byte) (metaResp, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	m := metaResp{
+		Shard:    int(r.u32("shard")),
+		Epoch:    r.u64("epoch"),
+		NumOwned: int(r.u32("numOwned")),
+		Box:      r.box("box"),
+	}
+	return m, r.done()
+}
+
+func encodeRangeReq(q rangeReq) []byte {
+	b := make([]byte, 0, 1+8+48)
+	b = append(b, protoVersion)
+	b = appendU64(b, q.Epoch)
+	return appendBox(b, q.Box)
+}
+
+func decodeRangeReq(b []byte) (rangeReq, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	q := rangeReq{Epoch: r.u64("epoch"), Box: r.box("box")}
+	return q, r.done()
+}
+
+func encodeRangeResp(resp rangeResp) []byte {
+	b := make([]byte, 0, 1+8+1+4+4*len(resp.IDs))
+	b = append(b, protoVersion)
+	b = appendU64(b, resp.Epoch)
+	b = appendBool(b, resp.Skew)
+	b = appendU32(b, uint32(len(resp.IDs)))
+	for _, id := range resp.IDs {
+		b = appendU32(b, uint32(id))
+	}
+	return b
+}
+
+func decodeRangeResp(b []byte) (rangeResp, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	resp := rangeResp{Epoch: r.u64("epoch"), Skew: r.bool("skew")}
+	n := int(r.u32("count"))
+	if r.err == nil && n > (len(b)-r.off)/4 {
+		r.fail("ids")
+	}
+	if r.err == nil && n > 0 {
+		resp.IDs = make([]int32, n)
+		for i := range resp.IDs {
+			resp.IDs[i] = int32(r.u32("id"))
+		}
+	}
+	return resp, r.done()
+}
+
+func encodeKNNReq(q knnReq) []byte {
+	b := make([]byte, 0, 1+8+24+4+1+8)
+	b = append(b, protoVersion)
+	b = appendU64(b, q.Epoch)
+	b = appendVec3(b, q.P)
+	b = appendU32(b, uint32(q.K))
+	b = appendBool(b, q.Full)
+	return appendF64(b, q.Bound2)
+}
+
+func decodeKNNReq(b []byte) (knnReq, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	q := knnReq{
+		Epoch:  r.u64("epoch"),
+		P:      r.vec3("probe"),
+		K:      int(r.u32("k")),
+		Full:   r.bool("full"),
+		Bound2: r.f64("bound2"),
+	}
+	return q, r.done()
+}
+
+func encodeKNNResp(resp knnResp) []byte {
+	b := make([]byte, 0, 1+8+1+4+4+12*len(resp.Cands))
+	b = append(b, protoVersion)
+	b = appendU64(b, resp.Epoch)
+	b = appendBool(b, resp.Skew)
+	b = appendU32(b, uint32(resp.Rounds))
+	b = appendU32(b, uint32(len(resp.Cands)))
+	for _, c := range resp.Cands {
+		b = appendF64(b, c.D2)
+		b = appendU32(b, uint32(c.GID))
+	}
+	return b
+}
+
+func decodeKNNResp(b []byte) (knnResp, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	resp := knnResp{Epoch: r.u64("epoch"), Skew: r.bool("skew"), Rounds: int(r.u32("rounds"))}
+	n := int(r.u32("count"))
+	if r.err == nil && n > (len(b)-r.off)/12 {
+		r.fail("candidates")
+	}
+	if r.err == nil && n > 0 {
+		resp.Cands = make([]knnCand, n)
+		for i := range resp.Cands {
+			resp.Cands[i].D2 = r.f64("d2")
+			resp.Cands[i].GID = int32(r.u32("gid"))
+		}
+	}
+	return resp, r.done()
+}
+
+func encodePublishReq(q publishReq) []byte {
+	b := make([]byte, 0, 1+8+4+24*len(q.Pos))
+	b = append(b, protoVersion)
+	b = appendU64(b, q.Epoch)
+	b = appendU32(b, uint32(len(q.Pos)))
+	for _, p := range q.Pos {
+		b = appendVec3(b, p)
+	}
+	return b
+}
+
+func decodePublishReq(b []byte) (publishReq, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	q := publishReq{Epoch: r.u64("epoch")}
+	n := int(r.u32("count"))
+	if r.err == nil && n > (len(b)-r.off)/24 {
+		r.fail("positions")
+	}
+	if r.err == nil && n > 0 {
+		q.Pos = make([]geom.Vec3, n)
+		for i := range q.Pos {
+			q.Pos[i] = r.vec3("pos")
+		}
+	}
+	return q, r.done()
+}
+
+func encodeMaintainReq() []byte { return []byte{protoVersion} }
+
+func encodeEpochResp(e epochResp) []byte {
+	b := make([]byte, 0, 1+8)
+	b = append(b, protoVersion)
+	return appendU64(b, e.Epoch)
+}
+
+func decodeEpochResp(b []byte) (epochResp, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	e := epochResp{Epoch: r.u64("epoch")}
+	return e, r.done()
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"octopus/internal/geom"
+)
+
+// TestProtoRoundTrip drives every message type through its encode/decode
+// pair, including the float edge cases the bit-exact contract hinges on
+// (±Inf bounds, negative zero).
+func TestProtoRoundTrip(t *testing.T) {
+	box := geom.Box(geom.V(-1.5, 0, math.Copysign(0, -1)), geom.V(2.25, 1e300, 3))
+
+	t.Run("metaResp", func(t *testing.T) {
+		in := metaResp{Shard: 3, Epoch: 41, NumOwned: 1234, Box: box}
+		out, err := decodeMetaResp(encodeMetaResp(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+
+	t.Run("rangeReq", func(t *testing.T) {
+		in := rangeReq{Epoch: 7, Box: box}
+		out, err := decodeRangeReq(encodeRangeReq(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+
+	t.Run("rangeResp", func(t *testing.T) {
+		for _, in := range []rangeResp{
+			{Epoch: 9, IDs: []int32{0, 5, 2147483647, 3}},
+			{Epoch: 10, Skew: true},
+			{Epoch: 11}, // empty result, not skew
+		} {
+			out, err := decodeRangeResp(encodeRangeResp(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	})
+
+	t.Run("knnReq", func(t *testing.T) {
+		for _, in := range []knnReq{
+			{Epoch: 3, P: geom.V(0.1, -0.2, 0.3), K: 8, Full: true, Bound2: 1.25},
+			{Epoch: 4, P: geom.V(0, 0, 0), K: 1, Full: false, Bound2: math.Inf(1)},
+		} {
+			out, err := decodeKNNReq(encodeKNNReq(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	})
+
+	t.Run("knnResp", func(t *testing.T) {
+		for _, in := range []knnResp{
+			{Epoch: 5, Rounds: 2, Cands: []knnCand{{D2: 0, GID: 1}, {D2: 0.5, GID: 0}, {D2: math.MaxFloat64, GID: 7}}},
+			{Epoch: 6, Skew: true},
+			{Epoch: 7},
+		} {
+			out, err := decodeKNNResp(encodeKNNResp(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	})
+
+	t.Run("publishReq", func(t *testing.T) {
+		in := publishReq{Epoch: 12, Pos: []geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: -0.5, Y: math.SmallestNonzeroFloat64, Z: 0}}}
+		out, err := decodePublishReq(encodePublishReq(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+
+	t.Run("epochResp", func(t *testing.T) {
+		in := epochResp{Epoch: 99}
+		out, err := decodeEpochResp(encodeEpochResp(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+}
+
+// TestProtoRejectsMalformed proves the decoders fail loudly on the wire
+// corruptions the version byte and length checks exist for, instead of
+// mis-decoding into a plausible message.
+func TestProtoRejectsMalformed(t *testing.T) {
+	good := encodeRangeResp(rangeResp{Epoch: 1, IDs: []int32{1, 2, 3}})
+
+	t.Run("version-mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = protoVersion + 1
+		if _, err := decodeRangeResp(bad); err == nil {
+			t.Fatal("decoded a message with a future protocol version")
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut++ {
+			if _, err := decodeRangeResp(good[:cut]); err == nil {
+				t.Fatalf("decoded a message truncated to %d/%d bytes", cut, len(good))
+			}
+		}
+	})
+
+	t.Run("trailing-bytes", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), 0xFF)
+		if _, err := decodeRangeResp(bad); err == nil {
+			t.Fatal("decoded a message with trailing bytes")
+		}
+	})
+
+	t.Run("count-overflow", func(t *testing.T) {
+		// A count claiming more elements than the buffer holds must be
+		// rejected before any allocation of that size.
+		bad := encodeKNNResp(knnResp{Epoch: 1})
+		bad[len(bad)-4] = 0xFF
+		bad[len(bad)-3] = 0xFF
+		bad[len(bad)-2] = 0xFF
+		bad[len(bad)-1] = 0x7F
+		if _, err := decodeKNNResp(bad); err == nil {
+			t.Fatal("decoded a candidate count larger than the message")
+		}
+		badPub := encodePublishReq(publishReq{Epoch: 1})
+		badPub[len(badPub)-4] = 0xFF
+		badPub[len(badPub)-3] = 0xFF
+		if _, err := decodePublishReq(badPub); err == nil {
+			t.Fatal("decoded a position count larger than the message")
+		}
+	})
+
+	t.Run("unknown-op", func(t *testing.T) {
+		srv := &Server{}
+		if _, err := srv.Handle(0xEE, []byte{protoVersion}); err == nil {
+			t.Fatal("handled an unknown op")
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octopus/internal/geom"
+	"octopus/internal/query"
+	"octopus/internal/shard"
+)
+
+// ErrEpochSkew is returned when shards keep disagreeing on the epoch
+// after the bounded re-query rounds: the router refuses to merge
+// responses from different steps — a wrong answer is worse than an
+// error.
+var ErrEpochSkew = errors.New("dist: shards disagree on the published epoch (persistent skew)")
+
+// maxQueryRounds bounds the refresh-and-re-query loop a skewed response
+// triggers; a query that cannot pin one epoch across every shard it
+// needs within this many rounds fails with ErrEpochSkew.
+const maxQueryRounds = 4
+
+// Router is the stateless routing tier: it owns no mesh data, only the
+// shard addresses and cached routing metadata (per-shard owned boxes and
+// the common epoch) it refreshes from the servers. Fan-out and kNN visit
+// order come from shard.PlanRangeFanout / shard.PlanKNNOrder — the same
+// planner the in-process shard.Router uses — and every merge is gated on
+// all responses proving the metadata's epoch, so results are bit-equal
+// to the in-process router over the same geometry.
+//
+// All methods are safe for concurrent use; any number of router
+// instances may serve the same cluster (statelessness is the point).
+type Router struct {
+	tr    Transport
+	addrs []string
+	retry RetryPolicy
+
+	mu     sync.Mutex
+	conns  []Conn
+	boxes  []geom.AABB // valid when metaOK; replaced wholesale, never mutated
+	epoch  uint64
+	metaOK bool
+
+	rangeQueries atomic.Int64
+	rangeFanout  atomic.Int64
+	knnQueries   atomic.Int64
+	knnScanned   atomic.Int64
+	widenings    atomic.Int64
+	retries      atomic.Int64
+	skewRequery  atomic.Int64
+}
+
+// NewRouter returns a router over the shard servers at addrs (index =
+// shard id), reached through tr under policy.
+func NewRouter(tr Transport, addrs []string, policy RetryPolicy) *Router {
+	return &Router{
+		tr:    tr,
+		addrs: append([]string(nil), addrs...),
+		retry: policy.withDefaults(),
+		conns: make([]Conn, len(addrs)),
+	}
+}
+
+// RouterStats is a snapshot of the router's counters.
+type RouterStats struct {
+	// RangeQueries/RangeFanout mirror the in-process FanoutStats: queries
+	// served and total shard RPCs they fanned out to.
+	RangeQueries, RangeFanout int64
+	// KNNQueries/KNNScanned: probes served and shards actually scanned
+	// (not pruned by the KBest bound); Widenings totals the server-side
+	// widening rounds.
+	KNNQueries, KNNScanned, Widenings int64
+	// Retries counts transport-level retry attempts; SkewRequeries counts
+	// whole-query re-runs forced by an epoch-skewed response.
+	Retries, SkewRequeries int64
+}
+
+// Stats snapshots the counters. Safe for concurrent use.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		RangeQueries:  r.rangeQueries.Load(),
+		RangeFanout:   r.rangeFanout.Load(),
+		KNNQueries:    r.knnQueries.Load(),
+		KNNScanned:    r.knnScanned.Load(),
+		Widenings:     r.widenings.Load(),
+		Retries:       r.retries.Load(),
+		SkewRequeries: r.skewRequery.Load(),
+	}
+}
+
+// Shards returns the number of shard servers routed over.
+func (r *Router) Shards() int { return len(r.addrs) }
+
+// Refresh fetches fresh metadata from every shard: the owned boxes and
+// the epoch vector. It succeeds only when every shard reports the same
+// epoch (publishes are lockstep; a mixed vector means a publish sweep is
+// in flight) — bounded re-sweeps, then ErrEpochSkew.
+func (r *Router) Refresh() error {
+	_, _, err := r.refreshMeta()
+	return err
+}
+
+// meta returns the cached (boxes, epoch), refreshing on first use or
+// after an invalidation.
+func (r *Router) meta() ([]geom.AABB, uint64, error) {
+	r.mu.Lock()
+	if r.metaOK {
+		boxes, epoch := r.boxes, r.epoch
+		r.mu.Unlock()
+		return boxes, epoch, nil
+	}
+	r.mu.Unlock()
+	return r.refreshMeta()
+}
+
+func (r *Router) invalidateMeta() {
+	r.mu.Lock()
+	r.metaOK = false
+	r.mu.Unlock()
+}
+
+func (r *Router) refreshMeta() ([]geom.AABB, uint64, error) {
+	backoff := r.retry.Backoff
+	for sweep := 0; sweep < maxQueryRounds; sweep++ {
+		if sweep > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		boxes := make([]geom.AABB, len(r.addrs))
+		var epoch uint64
+		mixed := false
+		for s := range r.addrs {
+			resp, err := r.call(s, opMeta, encodeMetaReq())
+			if err != nil {
+				return nil, 0, err
+			}
+			m, err := decodeMetaResp(resp)
+			if err != nil {
+				return nil, 0, err
+			}
+			if m.Shard != s {
+				return nil, 0, fmt.Errorf("dist: server at %s claims shard %d, want %d", r.addrs[s], m.Shard, s)
+			}
+			boxes[s] = m.Box
+			if s == 0 {
+				epoch = m.Epoch
+			} else if m.Epoch != epoch {
+				mixed = true
+				break
+			}
+		}
+		if mixed {
+			continue // a publish sweep is in flight; re-sweep
+		}
+		r.mu.Lock()
+		r.boxes, r.epoch, r.metaOK = boxes, epoch, true
+		r.mu.Unlock()
+		return boxes, epoch, nil
+	}
+	return nil, 0, ErrEpochSkew
+}
+
+// Range answers a range query: fan out to the box-intersecting shards at
+// the metadata's epoch, merge owned global ids. Returns the ids, the
+// epoch the result is exact at, and an error when a shard stayed
+// unreachable (after retries) or the cluster never settled on one epoch
+// — never a silently narrowed result.
+func (r *Router) Range(q geom.AABB, out []int32) ([]int32, uint64, error) {
+	r.rangeQueries.Add(1)
+	base := len(out)
+	var plan []int
+	for round := 0; round < maxQueryRounds; round++ {
+		boxes, epoch, err := r.meta()
+		if err != nil {
+			return nil, 0, err
+		}
+		plan = shard.PlanRangeFanout(boxes, q, plan[:0])
+		out = out[:base]
+		skew := false
+		for _, s := range plan {
+			resp, err := r.rangeRPC(s, rangeReq{Epoch: epoch, Box: q})
+			if err != nil {
+				return nil, 0, err
+			}
+			if resp.Skew {
+				skew = true
+				break
+			}
+			out = append(out, resp.IDs...)
+		}
+		if !skew {
+			r.rangeFanout.Add(int64(len(plan)))
+			return out, epoch, nil
+		}
+		r.skewRequery.Add(1)
+		r.invalidateMeta()
+	}
+	return nil, 0, ErrEpochSkew
+}
+
+// KNN answers a k-nearest-neighbor probe: best-first over shards by box
+// distance under a global query.KBest, each shard scanned server-side
+// under the shipped (Full, Bound2) state — the distributed form of the
+// in-process widening contract. Returns the ids nearest first (ties by
+// ascending global id), the epoch, and an honest error on unreachable
+// shards or persistent skew.
+func (r *Router) KNN(p geom.Vec3, k int, out []int32) ([]int32, uint64, error) {
+	r.knnQueries.Add(1)
+	var kb query.KBest
+	var order []shard.ShardDist
+	for round := 0; round < maxQueryRounds; round++ {
+		boxes, epoch, err := r.meta()
+		if err != nil {
+			return nil, 0, err
+		}
+		if k <= 0 || len(r.addrs) == 0 {
+			return out, epoch, nil
+		}
+		order = shard.PlanKNNOrder(boxes, p, order[:0])
+		kb.Reset(k)
+		skew := false
+		scanned := 0
+		for _, sd := range order {
+			// Prune strictly, ties not pruned — same rule as in-process.
+			if kb.Full() && sd.D2 > kb.Bound() {
+				break
+			}
+			scanned++
+			resp, err := r.knnRPC(sd.Shard, knnReq{
+				Epoch:  epoch,
+				P:      p,
+				K:      k,
+				Full:   kb.Full(),
+				Bound2: kb.Bound(),
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if resp.Skew {
+				skew = true
+				break
+			}
+			r.widenings.Add(int64(resp.Rounds))
+			for _, c := range resp.Cands {
+				kb.Offer(c.D2, c.GID)
+			}
+		}
+		if !skew {
+			r.knnScanned.Add(int64(scanned))
+			return kb.AppendSorted(out), epoch, nil
+		}
+		r.skewRequery.Add(1)
+		r.invalidateMeta()
+	}
+	return nil, 0, ErrEpochSkew
+}
+
+func (r *Router) rangeRPC(s int, q rangeReq) (rangeResp, error) {
+	b, err := r.call(s, opRange, encodeRangeReq(q))
+	if err != nil {
+		return rangeResp{}, err
+	}
+	return decodeRangeResp(b)
+}
+
+func (r *Router) knnRPC(s int, q knnReq) (knnResp, error) {
+	b, err := r.call(s, opKNN, encodeKNNReq(q))
+	if err != nil {
+		return knnResp{}, err
+	}
+	return decodeKNNResp(b)
+}
+
+// call performs one RPC to shard s under the retry policy: each attempt
+// runs to its own deadline, transport failures back off exponentially
+// and redial, application errors return immediately. The terminal error
+// names the shard — the degraded trace the caller surfaces.
+func (r *Router) call(s int, op byte, req []byte) ([]byte, error) {
+	backoff := r.retry.Backoff
+	var lastErr error
+	for attempt := 0; attempt < r.retry.Attempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := r.conn(s)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := conn.Call(op, req, time.Now().Add(r.retry.Deadline))
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !IsTransportError(err) {
+			return nil, err // the server itself refused: not retryable
+		}
+		r.dropConn(s, conn)
+	}
+	return nil, fmt.Errorf("dist: shard %d (%s) unreachable after %d attempts: %w",
+		s, r.addrs[s], r.retry.Attempts, lastErr)
+}
+
+func (r *Router) conn(s int) (Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conns[s] != nil {
+		return r.conns[s], nil
+	}
+	c, err := r.tr.Dial(r.addrs[s])
+	if err != nil {
+		return nil, err
+	}
+	r.conns[s] = c
+	return c, nil
+}
+
+func (r *Router) dropConn(s int, c Conn) {
+	r.mu.Lock()
+	if r.conns[s] == c {
+		r.conns[s] = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// Close drops every connection. The router may keep serving afterwards
+// (connections redial lazily); Close is for orderly shutdown.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.conns {
+		if c != nil {
+			c.Close()
+			r.conns[i] = nil
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP frames: request = [op u8][len u32][payload], response =
+// [status u8][len u32][payload] with status 0 = ok (payload is the
+// response message) and 1 = application error (payload is the error
+// text). Length-prefixed little-endian, one in-flight exchange per
+// connection (the client serializes calls; the router goes wide by
+// dialing per shard).
+
+// maxFrame bounds a frame payload — a whole-shard publish of a large
+// sub-mesh fits far under it; anything bigger is a corrupt stream.
+const maxFrame = 1 << 28
+
+const (
+	statusOK  = byte(0)
+	statusErr = byte(1)
+)
+
+// TCPTransport dials shard servers over TCP.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment; 0 uses 2s.
+	DialTimeout time.Duration
+}
+
+// Dial implements Transport.
+func (t *TCPTransport) Dial(addr string) (Conn, error) {
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, transportErrorf("dist: dial %s: %v", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (c *tcpConn) Call(op byte, req []byte, deadline time.Time) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.c.SetDeadline(deadline); err != nil {
+		return nil, transportErrorf("dist: set deadline: %v", err)
+	}
+	if err := writeFrame(c.c, op, req); err != nil {
+		return nil, transportErrorf("dist: write %s: %v", c.c.RemoteAddr(), err)
+	}
+	status, payload, err := readFrame(c.c)
+	if err != nil {
+		return nil, transportErrorf("dist: read %s: %v", c.c.RemoteAddr(), err)
+	}
+	if status == statusErr {
+		return nil, errors.New(string(payload))
+	}
+	return payload, nil
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Close()
+}
+
+func writeFrame(w io.Writer, tag byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (tag byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Serve accepts connections on ln and serves srv's RPCs until the
+// listener is closed; each connection handles its requests sequentially
+// on its own goroutine. It returns the listener's final Accept error
+// (net.ErrClosed after a clean Close).
+func Serve(ln net.Listener, srv *Server) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+// TCPServer serves one shard over a listener while tracking the accepted
+// connections, so Stop can sever in-flight clients too — the process
+// kill of the fault drills, not just a refused redial. cmd/shardserver
+// and Cluster.ServeTCP serve through it.
+type TCPServer struct {
+	ln  net.Listener
+	srv *Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewTCPServer wraps ln; call Serve to start accepting.
+func NewTCPServer(ln net.Listener, srv *Server) *TCPServer {
+	return &TCPServer{ln: ln, srv: srv, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts and serves connections until Stop (or a listener error),
+// which it returns like the package-level Serve.
+func (s *TCPServer) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			serveConn(conn, s.srv)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Stop closes the listener and every live connection: clients in flight
+// see I/O failures (transport errors — retried, then surfaced honestly),
+// never a half-written response. Idempotent.
+func (s *TCPServer) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func serveConn(conn net.Conn, srv *Server) {
+	defer conn.Close()
+	for {
+		op, req, err := readFrame(conn)
+		if err != nil {
+			return // client went away (or sent garbage): drop the conn
+		}
+		resp, err := srv.Handle(op, req)
+		if err != nil {
+			if writeFrame(conn, statusErr, []byte(err.Error())) != nil {
+				return
+			}
+			continue
+		}
+		if writeFrame(conn, statusOK, resp) != nil {
+			return
+		}
+	}
+}

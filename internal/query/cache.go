@@ -43,13 +43,30 @@ import (
 // must not Put results truncated by a CrawlBudget or produced by the
 // approximate surface probe, since a later hit replays them bit-for-bit.
 type ResultCache struct {
-	mu         sync.Mutex
-	entries    map[cacheKey]*cacheEntry
-	fifo       []cacheKey // insertion order; dead keys are skipped on evict
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	// fifo holds insertion order as (key, seq) slots starting at head;
+	// seq ties a slot to the exact insertion that created it, so a key
+	// re-inserted after invalidation gets a fresh slot and its stale one
+	// reads as dead on eviction. The head index replaces re-slicing
+	// (fifo = fifo[1:] would retain the backing array's dead prefix for
+	// the life of the server); compactLocked reclaims dead slots and the
+	// consumed prefix once they dominate.
+	fifo       []fifoSlot
+	head       int
+	seq        uint64
 	cap        int
 	validEpoch uint64
 
 	stats CacheStats
+}
+
+// fifoSlot is one insertion-order record: the key plus the sequence
+// number of the insertion that appended it. A slot is live iff the
+// key's current entry carries the same sequence number.
+type fifoSlot struct {
+	key cacheKey
+	seq uint64
 }
 
 // cacheKey identifies one query. Range and kNN keys live in one map,
@@ -70,6 +87,11 @@ type cacheEntry struct {
 	// distance; +Inf when the mesh held fewer than k vertices, so any
 	// movement invalidates). Unused (0) for range entries.
 	ball2 float64
+	// seq is the sequence number of the insertion that created the
+	// entry's FIFO slot; eviction matches it against the slot to tell a
+	// live slot from the stale slot of an invalidated-then-re-inserted
+	// key.
+	seq uint64
 }
 
 // DefaultCacheSize is the entry capacity Pipeline uses when the cache is
@@ -186,7 +208,7 @@ func (c *ResultCache) put(key cacheKey, res []int32, epoch uint64, ball2 float64
 		return
 	}
 	if e, ok := c.entries[key]; ok {
-		// Refresh in place; the key keeps its FIFO slot.
+		// Refresh in place; the key keeps its FIFO slot (and its seq).
 		e.res, e.epoch, e.ball2 = res, epoch, ball2
 		c.stats.Puts++
 		return
@@ -194,31 +216,58 @@ func (c *ResultCache) put(key cacheKey, res []int32, epoch uint64, ball2 float64
 	for len(c.entries) >= c.cap {
 		c.evictOldestLocked()
 	}
-	c.entries[key] = &cacheEntry{res: res, epoch: epoch, ball2: ball2}
-	c.fifo = append(c.fifo, key)
+	c.seq++
+	c.entries[key] = &cacheEntry{res: res, epoch: epoch, ball2: ball2, seq: c.seq}
+	c.fifo = append(c.fifo, fifoSlot{key: key, seq: c.seq})
 	c.stats.Puts++
+	c.maybeCompactLocked()
 }
 
-// evictOldestLocked drops the oldest live entry. Keys whose entries were
-// already invalidated are skipped (each FIFO slot is popped exactly once,
-// so the skip cost is amortized over the puts that created them).
+// evictOldestLocked drops the oldest live entry. Dead slots — keys whose
+// entries were invalidated, and stale slots of keys that were invalidated
+// and later re-inserted (their entry's seq no longer matches) — are
+// skipped; each slot is consumed exactly once, so the skip cost is
+// amortized over the puts that created them.
 func (c *ResultCache) evictOldestLocked() {
-	for len(c.fifo) > 0 {
-		key := c.fifo[0]
-		c.fifo = c.fifo[1:]
-		if _, ok := c.entries[key]; ok {
-			delete(c.entries, key)
+	for c.head < len(c.fifo) {
+		slot := c.fifo[c.head]
+		c.head++
+		if e, ok := c.entries[slot.key]; ok && e.seq == slot.seq {
+			delete(c.entries, slot.key)
 			c.stats.Evicted++
 			return
 		}
 	}
-	// FIFO empty but entries remain: impossible by construction, but never
-	// loop forever on a future bookkeeping bug.
+	// FIFO drained but entries remain: impossible by construction, but
+	// never loop forever on a future bookkeeping bug.
 	for key := range c.entries {
 		delete(c.entries, key)
 		c.stats.Evicted++
 		return
 	}
+}
+
+// maybeCompactLocked reclaims FIFO storage on a long-running server: the
+// consumed prefix before head, and dead slots left behind by
+// invalidations. Compaction copies only the live tail and runs when dead
+// slots dominate, so its cost amortizes to O(1) per put while the slice's
+// live region stays within a small constant of the entry count.
+func (c *ResultCache) maybeCompactLocked() {
+	const slack = 32
+	pending := len(c.fifo) - c.head
+	headHeavy := c.head > slack && c.head*2 >= len(c.fifo)
+	deadHeavy := pending > 2*len(c.entries)+slack
+	if !headHeavy && !deadHeavy {
+		return
+	}
+	live := c.fifo[:0]
+	for _, slot := range c.fifo[c.head:] {
+		if e, ok := c.entries[slot.key]; ok && e.seq == slot.seq {
+			live = append(live, slot)
+		}
+	}
+	c.fifo = live
+	c.head = 0
 }
 
 // Advance applies the dirty regions published since the last call and
@@ -287,6 +336,7 @@ func (c *ResultCache) Flush() {
 func (c *ResultCache) flushLocked() {
 	clear(c.entries)
 	c.fifo = c.fifo[:0]
+	c.head = 0
 	c.stats.Flushes++
 }
 

@@ -257,3 +257,39 @@ func TestLatencyStatsNearestRank(t *testing.T) {
 		t.Fatalf("median of two = %v, want the lower sample", p50)
 	}
 }
+
+// TestResultCacheEvictAfterInvalidateRePut is the regression test for the
+// FIFO aging bug: an entry invalidated by Advance and then re-Put used to
+// append its key to the FIFO a second time, so the eviction scan popped
+// the stale slot, found the key live, and evicted the freshly re-inserted
+// entry as if it were the oldest. Slot sequence numbers make the stale
+// slot read as dead, so eviction falls through to the true oldest.
+func TestResultCacheEvictAfterInvalidateRePut(t *testing.T) {
+	c := query.NewResultCache(2)
+	qa := geom.BoxAround(geom.Vec3{X: 0}, 0.1)
+	qb := geom.BoxAround(geom.Vec3{X: 10}, 0.1)
+	qc := geom.BoxAround(geom.Vec3{X: 20}, 0.1)
+
+	c.PutRange(qa, []int32{0}, 0)
+	c.PutRange(qb, []int32{1}, 0)
+	// A dirty box over qa invalidates only that entry.
+	c.Advance([]mesh.DirtyRegion{dirtyAt(qa, 0, 1)}, 1)
+	if _, _, hit := c.GetRange(qa); hit {
+		t.Fatal("dirtied entry must be invalidated")
+	}
+	// Re-insert qa: it is now the NEWEST entry, but its key still has a
+	// stale slot at the front of the FIFO.
+	c.PutRange(qa, []int32{0}, 1)
+	// Capacity eviction must drop qb (the oldest live entry), not the
+	// just-re-inserted qa.
+	c.PutRange(qc, []int32{2}, 1)
+	if _, _, hit := c.GetRange(qa); !hit {
+		t.Fatal("freshly re-inserted entry evicted through its stale FIFO slot")
+	}
+	if _, _, hit := c.GetRange(qb); hit {
+		t.Fatal("oldest live entry survived eviction")
+	}
+	if _, _, hit := c.GetRange(qc); !hit {
+		t.Fatal("newest entry missing")
+	}
+}

@@ -310,5 +310,26 @@ func (b *KBest) AppendSorted(out []int32) []int32 {
 	return out
 }
 
+// AppendSortedDists drains the heap like AppendSorted, appending the
+// held ids to ids and the matching squared distances to d2s (nearest
+// first, ties by ascending id). A remote shard server uses it to ship
+// its owned candidates as (d2, id) pairs, so the router can merge them
+// into its global heap without access to the shard's positions.
+func (b *KBest) AppendSortedDists(ids []int32, d2s []float64) ([]int32, []float64) {
+	n := len(b.items)
+	idBase, dBase := len(ids), len(d2s)
+	ids = append(ids, make([]int32, n)...)
+	d2s = append(d2s, make([]float64, n)...)
+	for i := n - 1; i >= 0; i-- {
+		ids[idBase+i] = b.items[0].id
+		d2s[dBase+i] = b.items[0].d
+		last := len(b.items) - 1
+		b.items[0] = b.items[last]
+		b.items = b.items[:last]
+		b.siftDown(0)
+	}
+	return ids, d2s
+}
+
 // MemoryBytes returns the heap's backing footprint.
 func (b *KBest) MemoryBytes() int64 { return int64(cap(b.items)) * 16 }

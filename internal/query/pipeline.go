@@ -211,6 +211,11 @@ type QueryTrace struct {
 	// is nil and Latency is only the shed decision time. Shed queries
 	// are not latency observations — they were never served.
 	Shed bool
+	// Err is the query's failure when the engine can fail per query (a
+	// remote engine with an unreachable shard or persistent epoch skew —
+	// see ErrorReporter). The result slice is then empty and must not be
+	// read as an exact empty answer; such results are never cached.
+	Err error
 }
 
 // Staleness returns how many epochs behind the simulation head the
@@ -245,6 +250,8 @@ type PipelineReport struct {
 	// Sheds counts queries refused by admission control (traces with
 	// Shed set).
 	Sheds int64
+	// Degraded counts queries that failed honestly (traces with Err set).
+	Degraded int64
 }
 
 // Traces returns all traces (range then kNN).
@@ -476,6 +483,7 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 		var next atomic.Int64
 		var inflight atomic.Int64
 		var sheds atomic.Int64
+		var degraded atomic.Int64
 		var wg sync.WaitGroup
 		cursors := make([]Cursor, workers)
 		total := len(queries) + len(probes)
@@ -591,6 +599,14 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 						if cr, ok := cur.(CoverageReporter); ok {
 							trace.Coverage = cr.LastCoverage()
 						}
+						if er, ok := cur.(ErrorReporter); ok {
+							if err := er.LastError(); err != nil {
+								// Honest degraded trace: the (empty) result
+								// is a failure, not an exact answer.
+								trace.Err = err
+								degraded.Add(1)
+							}
+						}
 					}
 					trace.HeadEpoch = p.Mesh.Epoch()
 					if single != nil {
@@ -607,7 +623,7 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 					// exactness signal — an untruncated crawl still reports
 					// Visited as work accounting. Put itself rejects entries
 					// that already predate the cache's epoch.
-					if cache != nil && !trace.Coverage.Truncated &&
+					if cache != nil && trace.Err == nil && !trace.Coverage.Truncated &&
 						(fallback || pc != nil) {
 						if i < len(queries) {
 							cache.PutRange(queries[i], res, trace.Epoch)
@@ -625,6 +641,7 @@ func (p *Pipeline) Run(queries []geom.AABB, probes []KNNQuery) *PipelineReport {
 			cur.Close()
 		}
 		report.Sheds = sheds.Load()
+		report.Degraded = degraded.Load()
 	}
 	close(drained)
 	<-writerDone

@@ -127,6 +127,18 @@ type PinnedCursor interface {
 	LastEpoch() uint64
 }
 
+// ErrorReporter is implemented by cursors whose queries can fail — a
+// remote engine whose shard servers may be unreachable or epoch-skewed.
+// Such a cursor returns an empty result from the failed Query/KNN and
+// reports the error here; the pipeline records it in the trace
+// (QueryTrace.Err) so a degraded answer is never presented as an exact
+// empty one, and never cached.
+type ErrorReporter interface {
+	// LastError returns the error of the cursor's most recent Query/KNN,
+	// or nil when it succeeded.
+	LastError() error
+}
+
 // Restructurable is implemented by engines that can incrementally apply
 // mesh connectivity changes (the rare restructuring path, §IV-E2) instead
 // of rebuilding.

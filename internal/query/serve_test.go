@@ -47,12 +47,19 @@ func TestCacheReplayExactnessAllEngines(t *testing.T) {
 			base, baseProbes := testWorkload(m, 24, 12, 67)
 			queries, probes := repeatWorkload(base, baseProbes, 3)
 
+			// MaxSteps caps the publishes: the global noise deformer
+			// dirties every entry each step, so an uncapped writer that
+			// outpaces the workers can invalidate every repeat before it
+			// recurs (hits == 0 by scheduling luck). With the writer
+			// frozen after 8 steps, the workload's tail runs on a stable
+			// epoch where repeats must hit.
 			pl := &query.Pipeline{
 				Engine:    eng,
 				Mesh:      m,
 				Deform:    o.deform(m),
 				Workers:   4,
 				MinSteps:  4,
+				MaxSteps:  8,
 				CacheSize: 256,
 			}
 			report := pl.Run(queries, probes)

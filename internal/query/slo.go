@@ -40,18 +40,23 @@ type SLOController struct {
 	ring []atomic.Int64
 	wpos atomic.Uint64
 
-	// Control state (writer goroutine only, except shift which workers
-	// read for admission).
-	budget     time.Duration
-	overload   int          // consecutive overloaded ticks
+	// Control state. TickDecide (the single control goroutine) is the
+	// only writer; everything Stats snapshots is atomic, because Stats
+	// is documented safe from other goroutines — a Maintain hook runs on
+	// its own goroutine while the writer keeps ticking, and a plain read
+	// there is a real data race even when the torn value would be
+	// harmless. overload and cooldown stay plain: they are read and
+	// written by the writer only.
+	budget     atomic.Int64 // current maintenance budget, ns
+	overload   int          // consecutive overloaded ticks (writer only)
 	shift      atomic.Int32 // admission window shift: limit = workers >> shift
-	crawlMax   int64        // current crawl MaxVisited; 0 = exact
-	cooldown   int          // ticks until the next crawl adjustment
+	crawlMax   atomic.Int64 // current crawl MaxVisited; 0 = exact
+	cooldown   int          // ticks until the next crawl adjustment (writer only)
 	lastP99    atomic.Int64
-	ticks      int64
-	overTicks  int64
-	tightening int64
-	relaxation int64
+	ticks      atomic.Int64
+	overTicks  atomic.Int64
+	tightening atomic.Int64
+	relaxation atomic.Int64
 }
 
 // Controller tuning constants. Multiplicative increase/decrease on the
@@ -85,13 +90,14 @@ func NewSLOController(target, maxBudget time.Duration) *SLOController {
 	if minBudget > maxBudget {
 		minBudget = maxBudget
 	}
-	return &SLOController{
+	c := &SLOController{
 		target:    target,
 		maxBudget: maxBudget,
 		minBudget: minBudget,
-		budget:    maxBudget,
 		ring:      make([]atomic.Int64, sloRingSize),
 	}
+	c.budget.Store(int64(maxBudget))
+	return c
 }
 
 // Observe records one served query's latency (shed queries are not
@@ -127,36 +133,38 @@ type SLODecision struct {
 // TickDecide runs one control tick: compute the sliding p99, update the
 // actuators, and return what to install. Writer goroutine only.
 func (c *SLOController) TickDecide() SLODecision {
-	c.ticks++
+	c.ticks.Add(1)
 	if c.cooldown > 0 {
 		c.cooldown--
 	}
 	p99 := c.p99()
 	c.lastP99.Store(int64(p99))
 	dec := SLODecision{P99: p99}
+	budget := time.Duration(c.budget.Load())
+	crawlMax := c.crawlMax.Load()
 	if p99 > c.target {
 		dec.Overloaded = true
-		c.overTicks++
+		c.overTicks.Add(1)
 		c.overload++
-		c.budget /= 2
-		if c.budget < c.minBudget {
-			c.budget = c.minBudget
+		budget /= 2
+		if budget < c.minBudget {
+			budget = c.minBudget
 		}
 		if c.overload >= sloOverloadAfter {
 			if s := c.shift.Load(); s < sloMaxShift {
 				c.shift.Store(s + 1)
 			}
 			if c.cooldown == 0 {
-				next := c.crawlMax / 2
-				if c.crawlMax == 0 {
+				next := crawlMax / 2
+				if crawlMax == 0 {
 					next = sloCrawlStart
 				}
 				if next < sloCrawlFloor {
 					next = sloCrawlFloor
 				}
-				if next != c.crawlMax {
-					c.crawlMax = next
-					c.tightening++
+				if next != crawlMax {
+					crawlMax = next
+					c.tightening.Add(1)
 					dec.CrawlChanged = true
 					c.cooldown = sloCrawlCooldown
 				}
@@ -164,27 +172,29 @@ func (c *SLOController) TickDecide() SLODecision {
 		}
 	} else {
 		c.overload = 0
-		c.budget *= 2
-		if c.budget > c.maxBudget {
-			c.budget = c.maxBudget
+		budget *= 2
+		if budget > c.maxBudget {
+			budget = c.maxBudget
 		}
 		if s := c.shift.Load(); s > 0 {
 			c.shift.Store(s - 1)
 		}
-		if c.crawlMax > 0 && c.cooldown == 0 {
-			next := c.crawlMax * 4
+		if crawlMax > 0 && c.cooldown == 0 {
+			next := crawlMax * 4
 			if next >= sloCrawlStart {
 				next = 0 // back to exact execution
-				c.relaxation++
+				c.relaxation.Add(1)
 			}
-			c.crawlMax = next
+			crawlMax = next
 			dec.CrawlChanged = true
 			c.cooldown = sloCrawlCooldown
 		}
 	}
-	dec.Budget = c.budget
+	c.budget.Store(int64(budget))
+	c.crawlMax.Store(crawlMax)
+	dec.Budget = budget
 	dec.WindowShift = int(c.shift.Load())
-	dec.CrawlMaxVisited = c.crawlMax
+	dec.CrawlMaxVisited = crawlMax
 	return dec
 }
 
@@ -250,22 +260,24 @@ type SLOStats struct {
 	Tightenings, Relaxations int64
 }
 
-// Stats snapshots the controller. Counters are written by the writer
-// goroutine; reading them concurrently (from a Maintain hook or after
-// Run) observes a consistent-enough snapshot for reporting.
+// Stats snapshots the controller. Safe for concurrent use: every field
+// the writer goroutine mutates is read atomically, so calling it from a
+// Maintain hook (or any other goroutine) while TickDecide runs is
+// race-clean. Fields read in one snapshot may straddle a tick boundary —
+// fine for reporting, where each counter is individually current.
 func (c *SLOController) Stats() SLOStats {
 	return SLOStats{
 		Target:          c.target,
 		LastP99:         time.Duration(c.lastP99.Load()),
-		Budget:          c.budget,
+		Budget:          time.Duration(c.budget.Load()),
 		MinBudget:       c.minBudget,
 		MaxBudget:       c.maxBudget,
 		WindowShift:     int(c.shift.Load()),
-		CrawlMaxVisited: c.crawlMax,
-		Ticks:           c.ticks,
-		OverloadedTicks: c.overTicks,
-		Tightenings:     c.tightening,
-		Relaxations:     c.relaxation,
+		CrawlMaxVisited: c.crawlMax.Load(),
+		Ticks:           c.ticks.Load(),
+		OverloadedTicks: c.overTicks.Load(),
+		Tightenings:     c.tightening.Load(),
+		Relaxations:     c.relaxation.Load(),
 	}
 }
 

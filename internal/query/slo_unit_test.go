@@ -7,6 +7,8 @@ package query
 // external serve tests.
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -220,5 +222,66 @@ func TestSLOControllerEmptyWindow(t *testing.T) {
 	}
 	if dec.Budget != time.Millisecond || dec.WindowShift != 0 || dec.CrawlMaxVisited != 0 {
 		t.Fatalf("cold tick moved actuators: %+v", dec)
+	}
+}
+
+// TestSLOControllerStatsRace drives the controller exactly the way the
+// live pipeline does — query workers calling Observe, the writer ticking
+// TickDecide — while another goroutine snapshots Stats, the shape of a
+// Maintain hook reading the controller mid-run. Before Stats read the
+// writer-owned fields atomically this was a real data race (run with
+// -race; the CI regex matches SLO).
+func TestSLOControllerStatsRace(t *testing.T) {
+	c := NewSLOController(100*time.Microsecond, time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the Maintain-hook reader
+		defer wg.Done()
+		var sink SLOStats
+		for {
+			select {
+			case <-stop:
+				_ = sink
+				return
+			default:
+				sink = c.Stats()
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // a query worker observing latencies
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Observe(time.Duration(1+i%500) * time.Microsecond)
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// The writer: tick with explicit yields so the reader goroutines
+	// genuinely interleave with the writes even on GOMAXPROCS=1 (without
+	// the yield, all ticks can finish before the readers are first
+	// scheduled, and close(stop) would order every read after every
+	// write — hiding the race from the detector).
+	for tick := 0; tick < 200; tick++ {
+		c.TickDecide()
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Ticks != 200 {
+		t.Fatalf("ticks = %d, want 200", st.Ticks)
+	}
+	if st.Budget < st.MinBudget || st.Budget > st.MaxBudget {
+		t.Fatalf("budget %v outside [%v, %v]", st.Budget, st.MinBudget, st.MaxBudget)
 	}
 }

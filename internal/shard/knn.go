@@ -1,8 +1,6 @@
 package shard
 
 import (
-	"sort"
-
 	"octopus/internal/geom"
 	"octopus/internal/query"
 )
@@ -28,30 +26,22 @@ func (c *Cursor) KNN(p geom.Vec3, k int, out []int32) []int32 {
 
 	// Order shards by distance from the probe to their owned-vertex box:
 	// the shard containing (or nearest to) p is scanned first, so the
-	// bound tightens as early as possible.
-	c.order = c.order[:0]
-	for s, part := range r.sm.part.Parts {
-		c.order = append(c.order, shardDist{s: s, d2: part.box.Dist2(p)})
-	}
-	sort.Slice(c.order, func(i, j int) bool {
-		if c.order[i].d2 != c.order[j].d2 {
-			return c.order[i].d2 < c.order[j].d2
-		}
-		return c.order[i].s < c.order[j].s
-	})
+	// bound tightens as early as possible. The plan comes from the shared
+	// fan-out planner, so the remote router's visit order is identical.
+	c.order = PlanKNNOrder(c.planBoxes(), p, c.order[:0])
 
 	c.kb.Reset(k)
 	for _, sd := range c.order {
 		// Prune strictly: a shard at exactly the bound distance can still
 		// hold an equal-distance vertex with a smaller global id, which
 		// the (dist, id) ordering ranks ahead of the current k-th.
-		if c.kb.Full() && sd.d2 > c.kb.Bound() {
+		if c.kb.Full() && sd.D2 > c.kb.Bound() {
 			break
 		}
 		r.knnScanned.Add(1)
-		midTask := r.states[sd.s].BeginQuery()
-		c.scanShard(sd.s, p, k, midTask)
-		r.states[sd.s].EndQuery()
+		midTask := r.states[sd.Shard].BeginQuery()
+		c.scanShard(sd.Shard, p, k, midTask)
+		r.states[sd.Shard].EndQuery()
 	}
 	// Capture the kNN ball before AppendSorted drains the heap.
 	c.ball2, c.ballOK = c.kb.Bound(), true

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"sort"
+
+	"octopus/internal/geom"
+)
+
+// Fan-out planning, factored out of the in-process cursor so a remote
+// router tier can make provably identical routing decisions from shard
+// metadata alone (DESIGN.md §15). Both the in-process Cursor and the
+// distributed router in internal/dist route every fan-out and visit-order
+// decision through these two functions: the inputs are nothing but the
+// per-shard owned-vertex boxes — plain data that serializes — so the two
+// architectures cannot diverge on which shards a query touches or the
+// order a kNN probes them.
+
+// ShardDist is one entry of a kNN visit plan: a shard id and the squared
+// distance from the probe to the shard's owned-vertex box.
+type ShardDist struct {
+	Shard int
+	D2    float64
+}
+
+// PlanRangeFanout appends to out the ids of the shards whose owned box
+// intersects the query box, in ascending shard order — exactly the set
+// the router fans a range query out to.
+func PlanRangeFanout(boxes []geom.AABB, q geom.AABB, out []int) []int {
+	for s, b := range boxes {
+		if b.Intersects(q) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PlanKNNOrder appends to out every shard with its box distance to the
+// probe, sorted by (D2, Shard) ascending — the kNN best-first visit
+// order. The caller prunes the tail once its KBest bound drops below the
+// next entry's D2; ties at the bound must not be pruned (an
+// equal-distance candidate with a smaller global id still wins under the
+// (dist, id) order).
+func PlanKNNOrder(boxes []geom.AABB, p geom.Vec3, out []ShardDist) []ShardDist {
+	base := len(out)
+	for s, b := range boxes {
+		out = append(out, ShardDist{Shard: s, D2: b.Dist2(p)})
+	}
+	plan := out[base:]
+	sort.Slice(plan, func(i, j int) bool {
+		if plan[i].D2 != plan[j].D2 {
+			return plan[i].D2 < plan[j].D2
+		}
+		return plan[i].Shard < plan[j].Shard
+	})
+	return out
+}
+
+// Boxes appends the per-shard owned-vertex bounding boxes, in shard
+// order — the complete input of the fan-out planner, and the metadata a
+// shard server publishes to the router tier. The boxes are valid at the
+// partition's current published epoch; callers that must not observe a
+// mid-publish state read them under the coherence gate (Mesh.EpochVector
+// does both in one critical section).
+func (pt *Partition) Boxes(out []geom.AABB) []geom.AABB {
+	for _, p := range pt.Parts {
+		out = append(out, p.box)
+	}
+	return out
+}
+
+// EpochVector appends every shard sub-mesh's current position epoch, in
+// shard order, read under the coherence gate so the vector is a
+// consistent cross-shard snapshot: after any Deform publish all entries
+// are equal (shards publish in lockstep), so a mixed vector can only be
+// observed by code reading epochs outside the gate — which is exactly
+// what the distributed router's consistency check detects.
+func (sm *Mesh) EpochVector(out []uint64) []uint64 {
+	sm.deformMu.RLock()
+	defer sm.deformMu.RUnlock()
+	for _, p := range sm.part.Parts {
+		out = append(out, p.Mesh.Epoch())
+	}
+	return out
+}
+
+// RefreshBox recomputes and re-publishes the shard's owned-vertex box
+// from the sub-mesh's current positions, returning it. A shard server
+// owning just this Part calls it after a local publish (there is no
+// containing Mesh.Deform to ride along with); it must not run
+// concurrently with readers of Box.
+func (p *Part) RefreshBox() geom.AABB {
+	p.box = p.ownedBox(p.Mesh.Positions())
+	return p.box
+}

@@ -320,17 +320,23 @@ type Cursor struct {
 	gens    []uint64
 	scratch []int32
 	kb      query.KBest
-	order   []shardDist
+	boxes   []geom.AABB
+	plan    []int
+	order   []ShardDist
 	epoch   uint64
 	cov     query.CrawlCoverage
 	ball2   float64
 	ballOK  bool
 }
 
-// shardDist orders shards by box distance for the kNN best-first visit.
-type shardDist struct {
-	s  int
-	d2 float64
+// planBoxes gathers the current owned-vertex boxes into the cursor's
+// scratch — the fan-out planner's input. Caller holds the coherence gate.
+func (c *Cursor) planBoxes() []geom.AABB {
+	c.boxes = c.boxes[:0]
+	for _, p := range c.r.sm.part.Parts {
+		c.boxes = append(c.boxes, p.box)
+	}
+	return c.boxes
 }
 
 // Query implements query.Cursor: fan out to box-intersecting shards,
@@ -352,12 +358,9 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 
 	c.epoch = r.sm.Epoch()
 	c.cov = query.CrawlCoverage{}
-	fanout := int64(0)
-	for s, p := range r.sm.part.Parts {
-		if !p.box.Intersects(q) {
-			continue
-		}
-		fanout++
+	c.plan = PlanRangeFanout(c.planBoxes(), q, c.plan[:0])
+	for _, s := range c.plan {
+		p := r.sm.part.Parts[s]
 		midTask := r.states[s].BeginQuery()
 		if midTask || r.shardStale(s) {
 			// The owned-scan fallback is always exact: no coverage to add.
@@ -382,7 +385,7 @@ func (c *Cursor) Query(q geom.AABB, out []int32) []int32 {
 		r.states[s].EndQuery()
 	}
 	r.rangeQueries.Add(1)
-	r.rangeFanout.Add(fanout)
+	r.rangeFanout.Add(int64(len(c.plan)))
 	return out
 }
 

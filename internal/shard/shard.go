@@ -1,7 +1,9 @@
 // Package shard partitions a mesh into K spatially coherent sub-meshes and
-// executes range and kNN queries across them — the prerequisite for serving
-// meshes larger than one engine's rebuild budget, and for any future
-// multi-process story.
+// executes range and kNN queries across them — serving meshes larger than
+// one engine's rebuild budget. The same cut is the unit of distribution:
+// internal/dist serves each shard from its own process behind a wire
+// protocol, reusing this package's partition, fan-out planner and widening
+// contract unchanged (DESIGN.md §15).
 //
 // The partitioner (Partition) cuts the vertex set into K contiguous ranges
 // of the Hilbert order already used for the crawl-locality vertex layout:

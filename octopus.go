@@ -2,6 +2,7 @@ package octopus
 
 import (
 	"octopus/internal/core"
+	"octopus/internal/dist"
 	"octopus/internal/geom"
 	"octopus/internal/grid"
 	"octopus/internal/kdtree"
@@ -235,6 +236,60 @@ func NewShardedEngine(m *Mesh, k int, factory func(*Mesh) ParallelKNNEngine) (*S
 	}
 	return shard.NewRouter(sm, factory), nil
 }
+
+// Distributed serving (DESIGN.md §15): shard servers owning sub-meshes
+// behind a compact wire protocol, and a stateless router tier that fans
+// queries out to them — bit-equal to the in-process ShardedEngine, with
+// honest errors (never silently wrong or partial answers) when shards
+// are unreachable or epoch-skewed.
+
+// DistCluster is the serving-side harness: one shard server per shard
+// of a ShardedMesh plus the control plane that publishes deformation
+// steps (the ghost-position exchange) and drives maintenance. It
+// implements the pipeline's DeformableMesh, so a Pipeline can run over a
+// distributed engine unchanged.
+type DistCluster = dist.Cluster
+
+// DistRouter is the stateless query tier: it caches only routing
+// metadata (per-shard boxes and the common epoch) and merges responses
+// under an epoch-vector coherence gate. Any number of router instances
+// may serve the same cluster.
+type DistRouter = dist.Router
+
+// DistEngine adapts a DistRouter (plus optionally its cluster's control
+// plane) to ParallelKNNEngine for ExecuteBatch and Pipeline use. Failed
+// queries return empty results and surface their error through the
+// cursor (query traces record them as degraded).
+type DistEngine = dist.Engine
+
+// DistRetryPolicy bounds the router's per-RPC deadline and retry
+// behavior; the zero value uses the defaults.
+type DistRetryPolicy = dist.RetryPolicy
+
+// NewDistCluster builds one shard server per shard of sm with engines
+// from factory; serve it with ServeTCP (real sockets) or ServeLoopback.
+func NewDistCluster(sm *ShardedMesh, factory func(*Mesh) ParallelKNNEngine) *DistCluster {
+	return dist.NewCluster(sm, factory)
+}
+
+// NewDistRouter returns a stateless router over the shard servers at
+// addrs (index = shard id) reached over TCP under policy.
+func NewDistRouter(addrs []string, policy DistRetryPolicy) *DistRouter {
+	return dist.NewRouter(&dist.TCPTransport{}, addrs, policy)
+}
+
+// NewDistControlPlane returns a cluster that drives externally served
+// shard servers (cmd/shardserver processes) at addrs (index = shard id)
+// over TCP, instead of owning them: sm must be built from the same
+// deterministic dataset and shard count as the servers', and publishes
+// and maintenance fan out as RPCs.
+func NewDistControlPlane(sm *ShardedMesh, addrs []string) *DistCluster {
+	return dist.NewControlPlane(sm, &dist.TCPTransport{}, addrs)
+}
+
+// NewDistEngine wraps a router (and, when non-nil, a cluster whose
+// maintenance Step drives) as a drop-in engine.
+func NewDistEngine(r *DistRouter, cl *DistCluster) *DistEngine { return dist.NewEngine(r, cl) }
 
 // Analytical model (§IV-G).
 

@@ -191,7 +191,16 @@
 // proving a common epoch (re-querying on skew, bounded), and a shard that
 // stays unreachable after the retry budget fails the query with an error
 // naming it — never a silently narrowed result. Any number of router
-// instances may serve one cluster. See DESIGN.md §15.
+// instances may serve one cluster.
+//
+// The distributed hot path is lean: localized deformation steps publish
+// dirty deltas (only the moved vertices cross the wire, with an
+// automatic full-publish fallback), the TCP wire multiplexes concurrent
+// in-flight RPCs over pooled connections, and DistRouter.EnableCache
+// adds a result cache whose hits answer repeat queries with zero network
+// traffic — kept coherent by dirty-box invalidation riding the publish
+// stream (DistRouter.SyncCache). Both endpoints expose per-op payload
+// byte counters (DistWireStats). See DESIGN.md §15 and §16.
 //
 // The package also exposes the paper's baselines (linear scan, throwaway
 // octree, LUR-Tree, QU-Trade, and extended baselines) for comparison, the

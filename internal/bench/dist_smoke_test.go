@@ -18,13 +18,19 @@ func TestDistExperimentSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 1 || tables[0].ID != "dist-wire" {
-		t.Fatalf("experiment did not produce the dist-wire table: %+v", tables)
+	byID := map[string]*Table{}
+	for _, tab := range tables {
+		byID[tab.ID] = tab
+		tab.Render(io.Discard)
 	}
-	tab := tables[0]
-	tab.Render(io.Discard)
+	for _, id := range []string{"dist-wire", "dist-publish", "dist-serve"} {
+		if byID[id] == nil {
+			t.Fatalf("experiment did not produce the %s table (got %d tables)", id, len(tables))
+		}
+	}
+	tab := byID["dist-wire"]
 
-	cell := func(row, col string) float64 {
+	cellIn := func(tab *Table, row, col string) float64 {
 		ci := -1
 		for i, c := range tab.Columns {
 			if c == col {
@@ -32,20 +38,21 @@ func TestDistExperimentSmoke(t *testing.T) {
 			}
 		}
 		if ci < 0 {
-			t.Fatalf("no column %q", col)
+			t.Fatalf("%s: no column %q", tab.ID, col)
 		}
 		for _, r := range tab.Rows {
 			if r[0] == row {
 				v, err := strconv.ParseFloat(r[ci], 64)
 				if err != nil {
-					t.Fatalf("%s/%s: %q not numeric", row, col, r[ci])
+					t.Fatalf("%s: %s/%s: %q not numeric", tab.ID, row, col, r[ci])
 				}
 				return v
 			}
 		}
-		t.Fatalf("no row %q", row)
+		t.Fatalf("%s: no row %q", tab.ID, row)
 		return 0
 	}
+	cell := func(row, col string) float64 { return cellIn(tab, row, col) }
 
 	for _, row := range []string{"loopback/static", "tcp/static", "loopback/deforming"} {
 		if got := cell(row, "mismatches"); got != 0 {
@@ -72,5 +79,38 @@ func TestDistExperimentSmoke(t *testing.T) {
 		if a, b := cell("loopback/static", col), cell("tcp/static", col); a != b {
 			t.Errorf("%s differs across transports: loopback %v, tcp %v", col, a, b)
 		}
+	}
+
+	// dist-publish: the delta path must land bit-identical state (zero
+	// position mismatches on both rows) and cut the published wire bytes
+	// by at least the 5x the tentpole promises on a localized deformer.
+	pub := byID["dist-publish"]
+	for _, row := range []string{"full/blob", "delta/blob"} {
+		if got := cellIn(pub, row, "pos-mismatches"); got != 0 {
+			t.Errorf("dist-publish %s: %v sub-mesh positions differ from the in-process reference", row, got)
+		}
+		if got := cellIn(pub, row, "publish-bytes/step"); got <= 0 {
+			t.Errorf("dist-publish %s: no publish bytes accounted", row)
+		}
+	}
+	if got := cellIn(pub, "delta/blob", "reduction-vs-full[x]"); got < 5 {
+		t.Errorf("dist-publish: delta publishes reduce wire bytes by %.2fx, want >= 5x", got)
+	}
+
+	// dist-serve: the repeat pass must be answered entirely from the
+	// router-side cache (zero network bytes), and the concurrent routers
+	// on the multiplexed wire must produce zero wrong answers.
+	serve := byID["dist-serve"]
+	if got := cellIn(serve, "cached/repeat", "net-bytes"); got != 0 {
+		t.Errorf("dist-serve cached/repeat: repeat pass touched the network for %v bytes, want 0", got)
+	}
+	if got := cellIn(serve, "cached/repeat", "mismatches"); got != 0 {
+		t.Errorf("dist-serve cached/repeat: %v mismatches", got)
+	}
+	if hits, q := cellIn(serve, "cached/repeat", "cache-hits"), cellIn(serve, "cached/repeat", "queries"); hits != q/2 {
+		t.Errorf("dist-serve cached/repeat: %v cache hits for a %v-query double pass, want %v", hits, q, q/2)
+	}
+	if got := cellIn(serve, "concurrent/tcp", "mismatches"); got != 0 {
+		t.Errorf("dist-serve concurrent/tcp: %v wrong answers under concurrent routers", got)
 	}
 }

@@ -43,10 +43,26 @@ type Cluster struct {
 	epoch atomic.Uint64
 	err   atomic.Value // latched control-plane error (Deform)
 
-	buf []geom.Vec3 // publish scatter scratch
+	// Publish scratch, reused across shards and steps so the per-step
+	// hot path allocates nothing: the full-publish scatter buffer, the
+	// shared encode buffer, the per-shard delta (local id, position)
+	// lists, and the per-vertex replica list.
+	buf  []geom.Vec3
+	enc  []byte
+	dIDs [][]int32
+	dPos [][]geom.Vec3
+	reps []shard.Replica
+
+	wire wireCounters
 
 	// Deadline bounds each control RPC (publish/maintain); 0 uses 10s.
 	Deadline time.Duration
+
+	// FullPublish forces every step onto the full-array publish path,
+	// even when the dirty stream would allow a delta — the A/B switch the
+	// bench and the equivalence suite use to prove the two paths publish
+	// bit-identical state. Set before the first Deform.
+	FullPublish bool
 }
 
 // NewCluster builds one server per shard of sm with engines from
@@ -56,6 +72,11 @@ type Cluster struct {
 // or ServeTCP.
 func NewCluster(sm *shard.Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Cluster {
 	sm.EnableSnapshots()
+	// The control plane consumes the global mesh's dirty stream to
+	// publish deltas; tracking implies global snapshots, so Deform's fn
+	// runs against a preloaded back buffer and the old state survives to
+	// be diffed.
+	sm.Global().EnableDirtyTracking()
 	cl := &Cluster{sm: sm}
 	for _, p := range sm.Partition().Parts {
 		cl.servers = append(cl.servers, NewServer(p, factory))
@@ -75,6 +96,7 @@ func NewCluster(sm *shard.Mesh, factory func(*mesh.Mesh) query.ParallelKNNEngine
 // Servers returns nil; do not call ServeLoopback/ServeTCP.
 func NewControlPlane(sm *shard.Mesh, tr Transport, addrs []string) *Cluster {
 	sm.EnableSnapshots()
+	sm.Global().EnableDirtyTracking()
 	cl := &Cluster{sm: sm, tr: tr}
 	cl.addrs = append(cl.addrs, addrs...)
 	cl.conns = make([]Conn, len(addrs))
@@ -177,11 +199,24 @@ func (cl *Cluster) Err() error {
 }
 
 // Deform implements query.DeformableMesh: apply fn to the global
-// positions and publish the step to every server — each shard's full
-// local position array, ghosts included. A failed publish latches into
-// Err and leaves the affected servers at the old epoch; the router's
-// epoch gate then refuses to merge them with the advanced ones, so a
-// half-published step degrades to skew errors, never to torn results.
+// positions and publish the step to every server. When the global dirty
+// stream identifies the movers (the common case — localized steps), the
+// publish ships only them: each dirty global id is translated through
+// the partition's remap tables into every replica (the owning copy and
+// the ghost ring, so the ghost exchange stays exact) and each shard
+// receives a PublishDelta of its (local id, position) pairs plus the
+// dirty AABB the router-side caches invalidate by. When the dirty
+// tracker overflowed (or the step was structural, or FullPublish is
+// set), the step falls back to the full local position arrays — bigger,
+// never wrong. A failed publish latches into Err and leaves the affected
+// servers at the old epoch; the router's epoch gate then refuses to
+// merge them with the advanced ones, so a half-published step degrades
+// to skew errors, never to torn results.
+//
+// All position changes must happen inside fn: the global mesh is
+// double-buffered (fn runs against the preloaded back buffer) and the
+// delta is the diff fn produced. Mutating Positions() in place between
+// steps corrupts the diff baseline and the change would never publish.
 func (cl *Cluster) Deform(fn func(pos []geom.Vec3)) {
 	if err := cl.DeformErr(fn); err != nil {
 		cl.err.CompareAndSwap(nil, err)
@@ -189,30 +224,90 @@ func (cl *Cluster) Deform(fn func(pos []geom.Vec3)) {
 }
 
 // DeformErr is Deform with the error returned (the control plane's
-// native form).
+// native form). See Deform for the fn contract.
 func (cl *Cluster) DeformErr(fn func(pos []geom.Vec3)) error {
-	global := cl.sm.Global().Positions()
-	fn(global)
+	g := cl.sm.Global()
+	g.Deform(fn)
+	d := g.TakeDirty()
+	global := g.Positions()
 	epoch := cl.epoch.Add(1)
+	if cl.FullPublish || d.Overflow || d.Structural {
+		return cl.publishFull(epoch, global)
+	}
+	return cl.publishDeltas(epoch, d, global)
+}
+
+// publishFull ships every shard its full local position array (owned +
+// ghost ring) as one Publish RPC — the fallback when the movers are not
+// enumerable.
+func (cl *Cluster) publishFull(epoch uint64, global []geom.Vec3) error {
 	for i, p := range cl.sm.Partition().Parts {
 		cl.buf = cl.buf[:0]
 		for _, g := range p.ToGlobal {
 			cl.buf = append(cl.buf, global[g])
 		}
-		resp, err := cl.call(i, opPublish, encodePublishReq(publishReq{Epoch: epoch, Pos: cl.buf}))
-		if err != nil {
-			return fmt.Errorf("dist: publish epoch %d to shard %d: %w", epoch, i, err)
-		}
-		e, err := decodeEpochResp(resp)
-		if err != nil {
+		cl.enc = appendPublishReq(cl.enc[:0], publishReq{Epoch: epoch, Pos: cl.buf})
+		if err := cl.publishRPC(i, opPublish, cl.enc, epoch); err != nil {
 			return err
-		}
-		if e.Epoch != epoch {
-			return fmt.Errorf("dist: shard %d published epoch %d, want %d", i, e.Epoch, epoch)
 		}
 	}
 	return nil
 }
+
+// publishDeltas translates the global dirty set into per-shard (local
+// id, position) lists — every replica of every mover — and ships each
+// shard one PublishDelta RPC. Every shard gets one (possibly empty)
+// delta: publishes are lockstep and the epoch must advance everywhere.
+func (cl *Cluster) publishDeltas(epoch uint64, d mesh.DirtyRegion, global []geom.Vec3) error {
+	part := cl.sm.Partition()
+	k := len(part.Parts)
+	for len(cl.dIDs) < k {
+		cl.dIDs = append(cl.dIDs, nil)
+		cl.dPos = append(cl.dPos, nil)
+	}
+	for s := 0; s < k; s++ {
+		cl.dIDs[s] = cl.dIDs[s][:0]
+		cl.dPos[s] = cl.dPos[s][:0]
+	}
+	for _, gid := range d.Verts {
+		p := global[gid]
+		cl.reps = part.AppendReplicas(gid, cl.reps[:0])
+		for _, rep := range cl.reps {
+			cl.dIDs[rep.Shard] = append(cl.dIDs[rep.Shard], rep.Local)
+			cl.dPos[rep.Shard] = append(cl.dPos[rep.Shard], p)
+		}
+	}
+	for s := 0; s < k; s++ {
+		cl.enc = appendPublishDeltaReq(cl.enc[:0], publishDeltaReq{
+			Epoch: epoch, Box: d.Box, IDs: cl.dIDs[s], Pos: cl.dPos[s],
+		})
+		if err := cl.publishRPC(s, opPublishDelta, cl.enc, epoch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishRPC sends one encoded publish (full or delta) to shard i and
+// verifies the server arrived at exactly epoch.
+func (cl *Cluster) publishRPC(i int, op byte, req []byte, epoch uint64) error {
+	resp, err := cl.call(i, op, req)
+	if err != nil {
+		return fmt.Errorf("dist: publish epoch %d to shard %d: %w", epoch, i, err)
+	}
+	e, err := decodeEpochResp(resp)
+	if err != nil {
+		return err
+	}
+	if e.Epoch != epoch {
+		return fmt.Errorf("dist: shard %d published epoch %d, want %d", i, e.Epoch, epoch)
+	}
+	return nil
+}
+
+// WireStats snapshots the control plane's per-op wire accounting
+// (publish and maintain traffic). Safe for concurrent use.
+func (cl *Cluster) WireStats() WireStats { return cl.wire.snapshot() }
 
 // MaintainToHead drives every server's maintenance target to the
 // published head (the stop-the-world maintenance shim, one Maintain RPC
@@ -251,10 +346,12 @@ func (cl *Cluster) call(i int, op byte, req []byte) ([]byte, error) {
 		}
 		resp, err := conn.Call(op, req, deadline)
 		if err == nil {
+			cl.wire.record(op, len(req), len(resp))
 			return resp, nil
 		}
 		lastErr = err
 		if !IsTransportError(err) {
+			cl.wire.record(op, len(req), 0)
 			return nil, err
 		}
 		cl.dropConn(i, conn)

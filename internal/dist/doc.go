@@ -4,7 +4,8 @@
 // protocol, while a stateless router tier fans queries out to
 // box-intersecting servers and merges responses under the global
 // query.KBest (dist, id) contract — results bit-equal to the in-process
-// shard.Router. See DESIGN.md §15.
+// shard.Router. See DESIGN.md §15 (wire boundary) and §16 (delta
+// publishes, the multiplexed wire, router-side caching).
 //
 // The pieces:
 //
@@ -37,18 +38,43 @@
 //     about.
 //
 //   - Transports: an in-process Loopback (deterministic tests, the bench,
-//     and fault drills via Kill/Revive) and TCP (length-prefixed frames,
-//     per-call deadlines), both behind the Transport interface. The
-//     router retries transport failures with exponential backoff under
+//     and fault drills via Kill/Revive) and TCP, both behind the
+//     Transport interface. The TCP wire is multiplexed: every frame
+//     carries a request id, so one pooled connection serves many
+//     concurrent in-flight RPCs — a slow query never head-of-line-blocks
+//     a fast one — with per-call deadlines, and a demux goroutine
+//     delivering each response to its waiter (DESIGN.md §16). The router
+//     retries transport failures with exponential backoff under
 //     RetryPolicy and returns an honest error when a shard stays
-//     unreachable — it never silently narrows a result.
+//     unreachable — it never silently narrows a result. Both endpoints
+//     count per-op payload bytes (WireStats): transport-independent,
+//     deterministic for a seeded workload, and CI-gated in the bench.
 //
 //   - Cluster is the serving-side harness: it builds one Server per
-//     shard of a shard.Mesh and owns the publish fan-out — Deform
-//     applies a step to the global positions and pushes each shard's
-//     full local position array (owned plus ghost ring — the ghost
-//     exchange) to its server as a Publish RPC, then MaintainToHead
-//     drives every server's maintenance target to the published epoch.
+//     shard of a shard.Mesh and owns the publish fan-out. Deform applies
+//     a step to the global positions and consumes the mesh's dirty
+//     tracking: a localized step ships as PublishDelta RPCs — only the
+//     moved vertices each shard can see (owned plus ghost ring),
+//     translated to local ids, applied into the sub-mesh's back buffer
+//     before the atomic swap, so the result is bit-equal to a full
+//     publish by construction. When a step moves too much (dirty-set
+//     overflow, structural change, or FullPublish set) it falls back to
+//     pushing each shard's full local position array as a Publish RPC.
+//     Either way every shard receives exactly one publish per step
+//     (empty deltas included), keeping the cluster's epochs in lockstep;
+//     MaintainToHead then drives every server's maintenance target to
+//     the published epoch. The steady-state publish path allocates
+//     nothing: encode buffers and remap scratch are reused across steps.
+//
+//   - Result caching: EnableCache gives a Router a query.ResultCache
+//     keyed by (kind, geometry) and the epoch its entry was computed at.
+//     A hit answers a repeat query with zero network traffic; coherence
+//     rides the publish stream — every server logs the dirty box of each
+//     published step, SyncCache pulls one shard's log (lockstep epochs
+//     make it cluster-wide) and invalidates exactly the entries whose
+//     geometry intersects a published dirty box, flushing outright on
+//     full publishes or log truncation. Replayed hits are bit-equal to
+//     re-executing the query.
 //
 // The distributed tier serves a pinned partition generation: live
 // re-partitioning (shard.Mesh restructuring, pressure rebalancing)

@@ -47,14 +47,17 @@ func (e *Engine) Name() string { return e.name }
 // Step implements query.Engine: with an attached cluster it drives every
 // shard server's maintenance to the published head; a fan-out failure
 // latches into the cluster's Err (Step cannot return one) and subsequent
-// queries degrade honestly through the epoch gate.
+// queries degrade honestly through the epoch gate. Step also advances
+// the router's result cache (when one is enabled) over the dirty
+// interval the publishes logged; a failed sync is harmless — the cache
+// just keeps answering at its older, still-proven epoch.
 func (e *Engine) Step() {
-	if e.cl == nil {
-		return
+	if e.cl != nil {
+		if err := e.cl.MaintainToHead(); err != nil {
+			e.cl.err.CompareAndSwap(nil, err)
+		}
 	}
-	if err := e.cl.MaintainToHead(); err != nil {
-		e.cl.err.CompareAndSwap(nil, err)
-	}
+	e.r.SyncCache()
 }
 
 // Query implements query.Engine through the resident cursor

@@ -252,16 +252,17 @@ func newHarness(t *testing.T, build func(t *testing.T) *mesh.Mesh, k int, ec eng
 	return h
 }
 
-// deform applies one deterministic step to both sides: in place on each
-// global mesh (the deformer is a pure function of the step), then a
-// lockstep publish — shard.Mesh.Deform in process, Publish RPCs (the
-// ghost exchange) across the wire.
+// deform applies one deterministic step to both sides, through each
+// side's Deform fn (the deformer is a pure function of the step and the
+// positions, so both sides compute bit-identical updates), then a
+// lockstep publish — shard.Mesh.Deform in process, publish RPCs (the
+// ghost exchange, delta or full) across the wire. Mutating through fn
+// matters on the cluster side: the global mesh is double-buffered with
+// dirty tracking, and the published delta is the diff fn produced.
 func (h *harness) deform(t *testing.T, d sim.Deformer, step int) {
 	t.Helper()
-	d.Step(step, h.m1.Positions())
-	h.sm1.Deform(func([]geom.Vec3) {})
-	d.Step(step, h.m2.Positions())
-	if err := h.cl.DeformErr(func([]geom.Vec3) {}); err != nil {
+	h.sm1.Deform(func(pos []geom.Vec3) { d.Step(step, pos) })
+	if err := h.cl.DeformErr(func(pos []geom.Vec3) { d.Step(step, pos) }); err != nil {
 		t.Fatalf("step %d: publish: %v", step, err)
 	}
 	if got, want := h.cl.Epoch(), h.sm1.Epoch(); got != want {

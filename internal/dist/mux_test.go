@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The multiplexing contract (DESIGN.md §16), pinned without sleeps: all
+// ordering below is via channels the test handler signals on, so every
+// assertion is a happens-before fact, not a timing guess.
+
+// Test ops for the gate handler. The transport carries any op byte; only
+// the production Server restricts them, and these tests bypass it to
+// isolate the framing/demux layer.
+const (
+	opEcho = byte(0xE0) // respond immediately with the request payload
+	opGate = byte(0xE1) // signal entered, block until released, then echo
+	opFail = byte(0xE2) // respond with an application error
+)
+
+// gateHandler is a Handler whose opGate requests park until the test
+// releases them — the tool for proving a slow RPC blocks nothing else.
+type gateHandler struct {
+	entered chan []byte   // receives the request payload when opGate parks
+	release chan struct{} // one receive unblocks one parked opGate
+}
+
+func newGateHandler() *gateHandler {
+	return &gateHandler{entered: make(chan []byte, 16), release: make(chan struct{})}
+}
+
+func (h *gateHandler) Handle(op byte, req []byte) ([]byte, error) {
+	switch op {
+	case opGate:
+		h.entered <- append([]byte(nil), req...)
+		<-h.release
+	case opFail:
+		return nil, fmt.Errorf("refused: %s", req)
+	}
+	return append([]byte(nil), req...), nil
+}
+
+// startMuxServer serves h on an ephemeral TCP port and returns the
+// server plus one dialed client connection.
+func startMuxServer(t *testing.T, h Handler) (*TCPServer, Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTCPServer(ln, h)
+	go ts.Serve()
+	t.Cleanup(ts.Stop)
+	conn, err := (&TCPTransport{}).Dial(ts.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return ts, conn
+}
+
+// TestDistMuxNoHeadOfLineBlocking: a fast RPC completes on the same
+// connection while a slow one is provably still parked inside its
+// handler — and the slow one's (out-of-order, later) response still
+// reaches its own waiter.
+func TestDistMuxNoHeadOfLineBlocking(t *testing.T) {
+	h := newGateHandler()
+	_, conn := startMuxServer(t, h)
+
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := conn.Call(opGate, []byte("slow"), time.Now().Add(30*time.Second))
+		if err == nil && !bytes.Equal(resp, []byte("slow")) {
+			err = fmt.Errorf("slow echo drifted: %q", resp)
+		}
+		slowDone <- err
+	}()
+	<-h.entered // the slow request is now parked server-side
+
+	// The fast call runs to completion while the slow one holds its
+	// handler goroutine: the demux must route its earlier response past
+	// the outstanding request id.
+	resp, err := conn.Call(opEcho, []byte("fast"), time.Now().Add(30*time.Second))
+	if err != nil {
+		t.Fatalf("fast call blocked behind a parked slow call: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("fast")) {
+		t.Fatalf("fast echo drifted: %q", resp)
+	}
+
+	h.release <- struct{}{}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call after release: %v", err)
+	}
+}
+
+// TestDistMuxConcurrentCalls: many goroutines share one connection, each
+// request carrying a unique payload; every response must reach exactly
+// the caller that sent the matching id. Run under -race in CI.
+func TestDistMuxConcurrentCalls(t *testing.T) {
+	h := newGateHandler()
+	_, conn := startMuxServer(t, h)
+
+	const goroutines, callsEach = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				want := []byte(fmt.Sprintf("g%d-call%d", g, i))
+				resp, err := conn.Call(opEcho, want, time.Now().Add(30*time.Second))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, want) {
+					errs <- fmt.Errorf("cross-delivered response: sent %q, got %q", want, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDistMuxStopSeversInFlight: stopping the server while a request is
+// parked inside its handler wakes the waiter with an honest transport
+// error — never a hang, never a fabricated response.
+func TestDistMuxStopSeversInFlight(t *testing.T) {
+	h := newGateHandler()
+	ts, conn := startMuxServer(t, h)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Call(opGate, []byte("doomed"), time.Now().Add(30*time.Second))
+		done <- err
+	}()
+	<-h.entered
+	ts.Stop()
+	err := <-done
+	if err == nil {
+		t.Fatal("call survived its server being stopped mid-flight")
+	}
+	if !IsTransportError(err) {
+		t.Fatalf("mid-flight stop produced a non-transport error: %v", err)
+	}
+	close(h.release) // let the parked handler goroutine drain
+}
+
+// TestDistMuxTimeoutLeavesConnUsable: a timed-out request tombstones its
+// id — the late response is dropped when it finally arrives, and the
+// same connection keeps serving new calls instead of being condemned.
+func TestDistMuxTimeoutLeavesConnUsable(t *testing.T) {
+	h := newGateHandler()
+	_, conn := startMuxServer(t, h)
+
+	_, err := conn.Call(opGate, []byte("late"), time.Now().Add(50*time.Millisecond))
+	if err == nil {
+		t.Fatal("call returned despite its handler being parked past the deadline")
+	}
+	if !IsTransportError(err) {
+		t.Fatalf("deadline produced a non-transport error: %v", err)
+	}
+
+	// Release the parked handler: its response hits the abandoned-id
+	// tombstone. A fresh call on the same conn must then succeed — if the
+	// late response had condemned the stream, this would fail.
+	h.release <- struct{}{}
+	resp, err := conn.Call(opEcho, []byte("alive"), time.Now().Add(30*time.Second))
+	if err != nil {
+		t.Fatalf("conn unusable after a timed-out call: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("alive")) {
+		t.Fatalf("echo drifted after timeout: %q", resp)
+	}
+}
+
+// TestDistMuxAppErrorsDoNotPoison: application errors travel as tagged
+// error frames per request — they fail only their own call and are not
+// transport errors (never retried, never condemning).
+func TestDistMuxAppErrorsDoNotPoison(t *testing.T) {
+	h := newGateHandler()
+	_, conn := startMuxServer(t, h)
+
+	_, err := conn.Call(opFail, []byte("nope"), time.Now().Add(30*time.Second))
+	if err == nil || IsTransportError(err) {
+		t.Fatalf("application error mis-classified: %v", err)
+	}
+	resp, err := conn.Call(opEcho, []byte("still-alive"), time.Now().Add(30*time.Second))
+	if err != nil || !bytes.Equal(resp, []byte("still-alive")) {
+		t.Fatalf("conn degraded after an application error: %q, %v", resp, err)
+	}
+}
+
+// TestDistMuxUnknownIDCondemns: a response frame whose id was never
+// issued proves the stream untrustworthy; every in-flight and subsequent
+// call must fail with a transport error rather than risk mis-delivery.
+func TestDistMuxUnknownIDCondemns(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	tc := newTCPConn(cli)
+	defer tc.Close()
+
+	go func() {
+		// Read the request frame, then answer with a different id.
+		if _, _, _, err := readFrame(srv); err != nil {
+			return
+		}
+		writeFrame(srv, statusOK, 0xBEEF, encodeEpochResp(epochResp{Epoch: 1}))
+	}()
+	_, err := tc.Call(opMeta, []byte{protoVersion}, time.Now().Add(30*time.Second))
+	if err == nil {
+		t.Fatal("call accepted a response for an id it never issued")
+	}
+	if !IsTransportError(err) {
+		t.Fatalf("unknown-id violation produced a non-transport error: %v", err)
+	}
+	// The conn is condemned: the next call fails immediately.
+	if _, err := tc.Call(opMeta, []byte{protoVersion}, time.Now().Add(30*time.Second)); err == nil {
+		t.Fatal("condemned conn accepted another call")
+	}
+}

@@ -20,12 +20,17 @@ const protoVersion = 1
 
 // RPC op codes (the transport frames carry one per request).
 const (
-	opMeta     = byte(1) // shard metadata: index, owned box, epoch
-	opRange    = byte(2) // range query at a pinned epoch
-	opKNN      = byte(3) // kNN scan at a pinned epoch under a global bound
-	opPublish  = byte(4) // push one step's local positions (ghost exchange)
-	opMaintain = byte(5) // drive the shard's maintenance to its head epoch
+	opMeta         = byte(1) // shard metadata: index, owned box, epoch
+	opRange        = byte(2) // range query at a pinned epoch
+	opKNN          = byte(3) // kNN scan at a pinned epoch under a global bound
+	opPublish      = byte(4) // push one step's local positions (ghost exchange)
+	opMaintain     = byte(5) // drive the shard's maintenance to its head epoch
+	opPublishDelta = byte(6) // push one step's moved positions only (dirty delta)
+	opDirtyLog     = byte(7) // fetch the per-epoch dirty boxes since an epoch
 )
+
+// numOps bounds the op-code space for per-op accounting tables.
+const numOps = 8
 
 // metaResp is the Meta response: the shard's identity and the routing
 // metadata the stateless tier caches.
@@ -89,8 +94,51 @@ type publishReq struct {
 	Pos   []geom.Vec3
 }
 
-// epochResp is the response of Publish and Maintain: the server's
-// resulting epoch (Publish) or the engine's answer epoch (Maintain).
+// publishDeltaReq pushes one deformation step as a delta: only the
+// local ids that moved (owned or ghost — the cluster translates the
+// global dirty set through the remap tables, so the ghost exchange stays
+// exact) and their new positions. The server preloads its back buffer
+// with the current front, overwrites exactly IDs, and publishes — bit
+// equal to a full publish of the same step by construction. Box is the
+// global dirty AABB (old ∪ new positions of every mover) the router-side
+// cache invalidates by. Same ordering contract as publishReq: the
+// sub-mesh must arrive at exactly Epoch.
+type publishDeltaReq struct {
+	Epoch uint64
+	Box   geom.AABB
+	IDs   []int32
+	Pos   []geom.Vec3
+}
+
+// dirtyLogReq asks for the per-epoch dirty records after From (i.e. the
+// interval (From, head]).
+type dirtyLogReq struct {
+	From uint64
+}
+
+// dirtyLogRec is one published step in a server's dirty log. Tracked
+// reports the step arrived as a delta with a valid dirty box; a full
+// publish (overflowed or structural dirty — nobody enumerated the
+// movers) is untracked and invalidates everything downstream.
+type dirtyLogRec struct {
+	Epoch   uint64
+	Tracked bool
+	Box     geom.AABB
+}
+
+// dirtyLogResp answers a dirtyLogReq: the records covering (From, Head],
+// oldest first. Complete reports the log still retained epoch From — a
+// false means the ring wrapped past it and the caller must treat the
+// whole interval as untracked.
+type dirtyLogResp struct {
+	Head     uint64
+	Complete bool
+	Recs     []dirtyLogRec
+}
+
+// epochResp is the response of Publish, PublishDelta and Maintain: the
+// server's resulting epoch (publishes) or the engine's answer epoch
+// (Maintain).
 type epochResp struct {
 	Epoch uint64
 }
@@ -314,8 +362,10 @@ func decodeKNNResp(b []byte) (knnResp, error) {
 	return resp, r.done()
 }
 
-func encodePublishReq(q publishReq) []byte {
-	b := make([]byte, 0, 1+8+4+24*len(q.Pos))
+// appendPublishReq encodes q into b (append-style so the control plane
+// reuses one buffer across shards and steps — the publish hot path must
+// not re-allocate the largest message in the protocol every call).
+func appendPublishReq(b []byte, q publishReq) []byte {
 	b = append(b, protoVersion)
 	b = appendU64(b, q.Epoch)
 	b = appendU32(b, uint32(len(q.Pos)))
@@ -323,6 +373,10 @@ func encodePublishReq(q publishReq) []byte {
 		b = appendVec3(b, p)
 	}
 	return b
+}
+
+func encodePublishReq(q publishReq) []byte {
+	return appendPublishReq(make([]byte, 0, 1+8+4+24*len(q.Pos)), q)
 }
 
 func decodePublishReq(b []byte) (publishReq, error) {
@@ -340,6 +394,95 @@ func decodePublishReq(b []byte) (publishReq, error) {
 		}
 	}
 	return q, r.done()
+}
+
+// appendPublishDeltaReq encodes q into b, append-style like
+// appendPublishReq. len(q.IDs) must equal len(q.Pos).
+func appendPublishDeltaReq(b []byte, q publishDeltaReq) []byte {
+	b = append(b, protoVersion)
+	b = appendU64(b, q.Epoch)
+	b = appendBox(b, q.Box)
+	b = appendU32(b, uint32(len(q.IDs)))
+	for _, id := range q.IDs {
+		b = appendU32(b, uint32(id))
+	}
+	for _, p := range q.Pos {
+		b = appendVec3(b, p)
+	}
+	return b
+}
+
+func encodePublishDeltaReq(q publishDeltaReq) []byte {
+	return appendPublishDeltaReq(make([]byte, 0, 1+8+48+4+28*len(q.IDs)), q)
+}
+
+func decodePublishDeltaReq(b []byte) (publishDeltaReq, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	q := publishDeltaReq{Epoch: r.u64("epoch"), Box: r.box("box")}
+	n := int(r.u32("count"))
+	// Each mover costs 4 (id) + 24 (position) bytes: reject a count the
+	// buffer cannot hold before allocating it.
+	if r.err == nil && n > (len(b)-r.off)/28 {
+		r.fail("movers")
+	}
+	if r.err == nil && n > 0 {
+		q.IDs = make([]int32, n)
+		for i := range q.IDs {
+			q.IDs[i] = int32(r.u32("id"))
+		}
+		q.Pos = make([]geom.Vec3, n)
+		for i := range q.Pos {
+			q.Pos[i] = r.vec3("pos")
+		}
+	}
+	return q, r.done()
+}
+
+func encodeDirtyLogReq(q dirtyLogReq) []byte {
+	b := make([]byte, 0, 1+8)
+	b = append(b, protoVersion)
+	return appendU64(b, q.From)
+}
+
+func decodeDirtyLogReq(b []byte) (dirtyLogReq, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	q := dirtyLogReq{From: r.u64("from")}
+	return q, r.done()
+}
+
+func encodeDirtyLogResp(resp dirtyLogResp) []byte {
+	b := make([]byte, 0, 1+8+1+4+57*len(resp.Recs))
+	b = append(b, protoVersion)
+	b = appendU64(b, resp.Head)
+	b = appendBool(b, resp.Complete)
+	b = appendU32(b, uint32(len(resp.Recs)))
+	for _, rec := range resp.Recs {
+		b = appendU64(b, rec.Epoch)
+		b = appendBool(b, rec.Tracked)
+		b = appendBox(b, rec.Box)
+	}
+	return b
+}
+
+func decodeDirtyLogResp(b []byte) (dirtyLogResp, error) {
+	r := reader{b: b}
+	r.checkVersion()
+	resp := dirtyLogResp{Head: r.u64("head"), Complete: r.bool("complete")}
+	n := int(r.u32("count"))
+	if r.err == nil && n > (len(b)-r.off)/57 {
+		r.fail("records")
+	}
+	if r.err == nil && n > 0 {
+		resp.Recs = make([]dirtyLogRec, n)
+		for i := range resp.Recs {
+			resp.Recs[i].Epoch = r.u64("epoch")
+			resp.Recs[i].Tracked = r.bool("tracked")
+			resp.Recs[i].Box = r.box("box")
+		}
+	}
+	return resp, r.done()
 }
 
 func encodeMaintainReq() []byte { return []byte{protoVersion} }

@@ -94,6 +94,53 @@ func TestProtoRoundTrip(t *testing.T) {
 		}
 	})
 
+	t.Run("publishDeltaReq", func(t *testing.T) {
+		for _, in := range []publishDeltaReq{
+			{Epoch: 13, Box: box,
+				IDs: []int32{4, 0, 2147483647},
+				Pos: []geom.Vec3{{X: 1, Y: 2, Z: 3}, {X: math.Inf(-1), Y: 0, Z: -0}, {X: math.SmallestNonzeroFloat64}}},
+			{Epoch: 14, Box: box}, // empty delta: epoch advance only
+		} {
+			out, err := decodePublishDeltaReq(encodePublishDeltaReq(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	})
+
+	t.Run("dirtyLogReq", func(t *testing.T) {
+		in := dirtyLogReq{From: 77}
+		out, err := decodeDirtyLogReq(encodeDirtyLogReq(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+
+	t.Run("dirtyLogResp", func(t *testing.T) {
+		for _, in := range []dirtyLogResp{
+			{Head: 9, Complete: true, Recs: []dirtyLogRec{
+				{Epoch: 8, Tracked: true, Box: box},
+				{Epoch: 9, Tracked: false, Box: geom.EmptyBox()},
+			}},
+			{Head: 500, Complete: false}, // wrapped ring: no records
+			{Head: 0, Complete: true},    // nothing published yet
+		} {
+			out, err := decodeDirtyLogResp(encodeDirtyLogResp(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	})
+
 	t.Run("epochResp", func(t *testing.T) {
 		in := epochResp{Epoch: 99}
 		out, err := decodeEpochResp(encodeEpochResp(in))
@@ -126,6 +173,22 @@ func TestProtoRejectsMalformed(t *testing.T) {
 				t.Fatalf("decoded a message truncated to %d/%d bytes", cut, len(good))
 			}
 		}
+		goodDelta := encodePublishDeltaReq(publishDeltaReq{
+			Epoch: 3, Box: geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)),
+			IDs: []int32{1, 2}, Pos: []geom.Vec3{{X: 1}, {Y: 2}},
+		})
+		for cut := 1; cut < len(goodDelta); cut++ {
+			if _, err := decodePublishDeltaReq(goodDelta[:cut]); err == nil {
+				t.Fatalf("decoded a delta publish truncated to %d/%d bytes", cut, len(goodDelta))
+			}
+		}
+		goodLog := encodeDirtyLogResp(dirtyLogResp{Head: 4, Complete: true,
+			Recs: []dirtyLogRec{{Epoch: 4, Tracked: true, Box: geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))}}})
+		for cut := 1; cut < len(goodLog); cut++ {
+			if _, err := decodeDirtyLogResp(goodLog[:cut]); err == nil {
+				t.Fatalf("decoded a dirty log truncated to %d/%d bytes", cut, len(goodLog))
+			}
+		}
 	})
 
 	t.Run("trailing-bytes", func(t *testing.T) {
@@ -151,6 +214,18 @@ func TestProtoRejectsMalformed(t *testing.T) {
 		badPub[len(badPub)-3] = 0xFF
 		if _, err := decodePublishReq(badPub); err == nil {
 			t.Fatal("decoded a position count larger than the message")
+		}
+		badDelta := encodePublishDeltaReq(publishDeltaReq{Epoch: 1})
+		badDelta[len(badDelta)-4] = 0xFF
+		badDelta[len(badDelta)-3] = 0xFF
+		if _, err := decodePublishDeltaReq(badDelta); err == nil {
+			t.Fatal("decoded a mover count larger than the message")
+		}
+		badLog := encodeDirtyLogResp(dirtyLogResp{Head: 1, Complete: true})
+		badLog[len(badLog)-4] = 0xFF
+		badLog[len(badLog)-3] = 0xFF
+		if _, err := decodeDirtyLogResp(badLog); err == nil {
+			t.Fatal("decoded a record count larger than the message")
 		}
 	})
 

@@ -3,11 +3,13 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"octopus/internal/geom"
+	"octopus/internal/mesh"
 	"octopus/internal/query"
 	"octopus/internal/shard"
 )
@@ -33,16 +35,29 @@ const maxQueryRounds = 4
 //
 // All methods are safe for concurrent use; any number of router
 // instances may serve the same cluster (statelessness is the point).
+//
+// With EnableCache, the router memoizes exact results in a
+// query.ResultCache keyed by the common epoch its metadata proved: a
+// cache hit answers without any network traffic at all. The cache stays
+// coherent through SyncCache, which pulls the servers' dirty logs — the
+// per-epoch dirty AABBs that ride along with delta publishes — and
+// invalidates precisely (see DESIGN.md §16 for the coherence argument).
 type Router struct {
 	tr    Transport
 	addrs []string
 	retry RetryPolicy
 
 	mu     sync.Mutex
-	conns  []Conn
+	conns  [][]Conn // per shard: up to retry.Pool pooled connections
+	rr     []int    // per shard: round-robin pick among pooled conns
 	boxes  []geom.AABB // valid when metaOK; replaced wholesale, never mutated
 	epoch  uint64
 	metaOK bool
+
+	cache  *query.ResultCache // nil until EnableCache
+	syncMu sync.Mutex         // serializes SyncCache's read-advance cycle
+
+	wire wireCounters
 
 	rangeQueries atomic.Int64
 	rangeFanout  atomic.Int64
@@ -51,6 +66,7 @@ type Router struct {
 	widenings    atomic.Int64
 	retries      atomic.Int64
 	skewRequery  atomic.Int64
+	cacheHits    atomic.Int64
 }
 
 // NewRouter returns a router over the shard servers at addrs (index =
@@ -60,8 +76,78 @@ func NewRouter(tr Transport, addrs []string, policy RetryPolicy) *Router {
 		tr:    tr,
 		addrs: append([]string(nil), addrs...),
 		retry: policy.withDefaults(),
-		conns: make([]Conn, len(addrs)),
+		conns: make([][]Conn, len(addrs)),
+		rr:    make([]int, len(addrs)),
 	}
+}
+
+// EnableCache attaches a result cache holding up to capacity entries
+// (<= 0 uses query.DefaultCacheSize). Call it before the router serves
+// queries; it is not safe to enable mid-flight. Cached hits answer with
+// zero RPCs; call SyncCache after publishes to keep the cache coherent.
+func (r *Router) EnableCache(capacity int) {
+	r.cache = query.NewResultCache(capacity)
+}
+
+// CacheStats snapshots the attached result cache's counters (the zero
+// value when no cache is enabled).
+func (r *Router) CacheStats() query.CacheStats {
+	if r.cache == nil {
+		return query.CacheStats{}
+	}
+	return r.cache.Stats()
+}
+
+// SyncCache advances the result cache over the dirty interval published
+// since the last sync: it fetches one server's dirty log from the
+// cache's valid epoch and applies the per-epoch dirty boxes (a flush for
+// untracked epochs — full publishes — or a wrapped log). One shard's log
+// covers the cluster: publishes are lockstep and every shard receives
+// the same global dirty box, so the records are cluster-wide facts.
+// Unreachable shards are skipped (the next one is tried); with every
+// shard unreachable the cache simply stays at its old valid epoch —
+// hits remain provably correct there, they just go stale-but-honest.
+// No-op without a cache. Safe for concurrent use.
+func (r *Router) SyncCache() error {
+	c := r.cache
+	if c == nil {
+		return nil
+	}
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	from := c.Stats().ValidEpoch
+	var lastErr error
+	for s := range r.addrs {
+		b, err := r.call(s, opDirtyLog, encodeDirtyLogReq(dirtyLogReq{From: from}))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := decodeDirtyLogResp(b)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Head <= from {
+			return nil // nothing published since the last sync
+		}
+		regions := make([]mesh.DirtyRegion, 0, len(resp.Recs)+1)
+		if !resp.Complete {
+			// The log wrapped past our epoch: the missing interval is
+			// untracked, which Advance treats as invalidate-everything.
+			regions = append(regions, mesh.DirtyRegion{Overflow: true, Box: geom.EmptyBox()})
+		}
+		for _, rec := range resp.Recs {
+			if !rec.Tracked {
+				regions = append(regions, mesh.DirtyRegion{Overflow: true, Box: geom.EmptyBox()})
+			} else if !rec.Box.IsEmpty() {
+				regions = append(regions, mesh.DirtyRegion{Box: rec.Box})
+			}
+		}
+		c.Advance(regions, resp.Head)
+		return nil
+	}
+	return lastErr
 }
 
 // RouterStats is a snapshot of the router's counters.
@@ -76,6 +162,9 @@ type RouterStats struct {
 	// Retries counts transport-level retry attempts; SkewRequeries counts
 	// whole-query re-runs forced by an epoch-skewed response.
 	Retries, SkewRequeries int64
+	// CacheHits counts queries answered from the result cache — each one
+	// cost zero RPCs (they also count into RangeQueries/KNNQueries).
+	CacheHits int64
 }
 
 // Stats snapshots the counters. Safe for concurrent use.
@@ -88,8 +177,13 @@ func (r *Router) Stats() RouterStats {
 		Widenings:     r.widenings.Load(),
 		Retries:       r.retries.Load(),
 		SkewRequeries: r.skewRequery.Load(),
+		CacheHits:     r.cacheHits.Load(),
 	}
 }
+
+// WireStats snapshots the router's per-op wire accounting. Safe for
+// concurrent use.
+func (r *Router) WireStats() WireStats { return r.wire.snapshot() }
 
 // Shards returns the number of shard servers routed over.
 func (r *Router) Shards() int { return len(r.addrs) }
@@ -171,6 +265,12 @@ func (r *Router) refreshMeta() ([]geom.AABB, uint64, error) {
 func (r *Router) Range(q geom.AABB, out []int32) ([]int32, uint64, error) {
 	r.rangeQueries.Add(1)
 	base := len(out)
+	if c := r.cache; c != nil {
+		if res, epoch, ok := c.GetRange(q); ok {
+			r.cacheHits.Add(1)
+			return append(out, res...), epoch, nil
+		}
+	}
 	var plan []int
 	for round := 0; round < maxQueryRounds; round++ {
 		boxes, epoch, err := r.meta()
@@ -193,6 +293,9 @@ func (r *Router) Range(q geom.AABB, out []int32) ([]int32, uint64, error) {
 		}
 		if !skew {
 			r.rangeFanout.Add(int64(len(plan)))
+			if c := r.cache; c != nil {
+				c.PutRange(q, append([]int32(nil), out[base:]...), epoch)
+			}
 			return out, epoch, nil
 		}
 		r.skewRequery.Add(1)
@@ -209,6 +312,13 @@ func (r *Router) Range(q geom.AABB, out []int32) ([]int32, uint64, error) {
 // shards or persistent skew.
 func (r *Router) KNN(p geom.Vec3, k int, out []int32) ([]int32, uint64, error) {
 	r.knnQueries.Add(1)
+	base := len(out)
+	if c := r.cache; c != nil {
+		if res, epoch, ok := c.GetKNN(p, k); ok {
+			r.cacheHits.Add(1)
+			return append(out, res...), epoch, nil
+		}
+	}
 	var kb query.KBest
 	var order []shard.ShardDist
 	for round := 0; round < maxQueryRounds; round++ {
@@ -250,7 +360,18 @@ func (r *Router) KNN(p geom.Vec3, k int, out []int32) ([]int32, uint64, error) {
 		}
 		if !skew {
 			r.knnScanned.Add(int64(scanned))
-			return kb.AppendSorted(out), epoch, nil
+			// The invalidation ball must be read before AppendSorted
+			// drains the heap: +Inf when fewer than k results exist (the
+			// whole mesh is in the answer, any movement may reorder it).
+			ball2 := math.Inf(1)
+			if kb.Full() {
+				ball2 = kb.Bound()
+			}
+			out = kb.AppendSorted(out)
+			if c := r.cache; c != nil {
+				c.PutKNN(p, k, append([]int32(nil), out[base:]...), epoch, ball2)
+			}
+			return out, epoch, nil
 		}
 		r.skewRequery.Add(1)
 		r.invalidateMeta()
@@ -294,10 +415,12 @@ func (r *Router) call(s int, op byte, req []byte) ([]byte, error) {
 		}
 		resp, err := conn.Call(op, req, time.Now().Add(r.retry.Deadline))
 		if err == nil {
+			r.wire.record(op, len(req), len(resp))
 			return resp, nil
 		}
 		lastErr = err
 		if !IsTransportError(err) {
+			r.wire.record(op, len(req), 0)
 			return nil, err // the server itself refused: not retryable
 		}
 		r.dropConn(s, conn)
@@ -306,24 +429,35 @@ func (r *Router) call(s int, op byte, req []byte) ([]byte, error) {
 		s, r.addrs[s], r.retry.Attempts, lastErr)
 }
 
+// conn returns a pooled connection to shard s: the pool grows by dialing
+// until retry.Pool connections exist, then round-robins over them — with
+// the multiplexed transport each pooled conn also carries concurrent
+// in-flight RPCs, so the pool is about spreading load, not about having
+// one conn per outstanding call.
 func (r *Router) conn(s int) (Conn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conns[s] != nil {
-		return r.conns[s], nil
+	if len(r.conns[s]) < r.retry.Pool {
+		c, err := r.tr.Dial(r.addrs[s])
+		if err != nil {
+			return nil, err
+		}
+		r.conns[s] = append(r.conns[s], c)
+		return c, nil
 	}
-	c, err := r.tr.Dial(r.addrs[s])
-	if err != nil {
-		return nil, err
-	}
-	r.conns[s] = c
-	return c, nil
+	r.rr[s]++
+	return r.conns[s][r.rr[s]%len(r.conns[s])], nil
 }
 
 func (r *Router) dropConn(s int, c Conn) {
 	r.mu.Lock()
-	if r.conns[s] == c {
-		r.conns[s] = nil
+	cs := r.conns[s]
+	for i, cc := range cs {
+		if cc == c {
+			cs[i] = cs[len(cs)-1]
+			r.conns[s] = cs[:len(cs)-1]
+			break
+		}
 	}
 	r.mu.Unlock()
 	c.Close()
@@ -334,10 +468,10 @@ func (r *Router) dropConn(s int, c Conn) {
 func (r *Router) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i, c := range r.conns {
-		if c != nil {
+	for s, cs := range r.conns {
+		for _, c := range cs {
 			c.Close()
-			r.conns[i] = nil
 		}
+		r.conns[s] = nil
 	}
 }

@@ -32,8 +32,22 @@ type Server struct {
 	// owned box against concurrent Meta reads.
 	mu sync.Mutex
 
+	// log is the dirty log (guarded by mu): one record per published
+	// epoch, a bounded ring the router-side result cache pulls via
+	// opDirtyLog to invalidate precisely instead of flushing. logBase is
+	// the epoch the oldest retained record's interval starts at; a
+	// request from before it cannot be answered completely.
+	log     []dirtyLogRec
+	logBase uint64
+
 	pool sync.Pool // *serverCursor
 }
+
+// dirtyLogCap bounds the dirty log ring. A cache syncing once per
+// published step reads one record; 256 epochs of slack covers any
+// realistic sync cadence, and an overrun degrades to a complete=false
+// answer (the cache flushes — correct, just not precise).
+const dirtyLogCap = 256
 
 // serverCursor is the pooled per-request query state.
 type serverCursor struct {
@@ -49,7 +63,7 @@ type serverCursor struct {
 // before any Publish overlaps queries.
 func NewServer(p *shard.Part, factory func(*mesh.Mesh) query.ParallelKNNEngine) *Server {
 	eng := factory(p.Mesh)
-	s := &Server{part: p, eng: eng}
+	s := &Server{part: p, eng: eng, logBase: p.Mesh.Epoch()}
 	s.ts = maintain.NewTargetState(maintain.Target{
 		Name:   fmt.Sprintf("dist-shard-%d", p.Index),
 		Engine: eng,
@@ -98,6 +112,22 @@ func (s *Server) Handle(op byte, req []byte) ([]byte, error) {
 			return nil, err
 		}
 		return encodeEpochResp(resp), nil
+	case opPublishDelta:
+		q, err := decodePublishDeltaReq(req)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.publishDelta(q)
+		if err != nil {
+			return nil, err
+		}
+		return encodeEpochResp(resp), nil
+	case opDirtyLog:
+		q, err := decodeDirtyLogReq(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeDirtyLogResp(s.dirtyLog(q)), nil
 	case opMaintain:
 		r := reader{b: req}
 		r.checkVersion()
@@ -142,7 +172,77 @@ func (s *Server) publish(q publishReq) (epochResp, error) {
 		copy(pos, q.Pos)
 	})
 	p.RefreshBox()
+	// A full publish means nobody enumerated the movers (first step,
+	// overflowed or structural dirty): log it untracked so a cache
+	// invalidates everything for this epoch.
+	s.logDirty(dirtyLogRec{Epoch: q.Epoch, Tracked: false, Box: geom.EmptyBox()})
 	return epochResp{Epoch: p.Mesh.Epoch()}, nil
+}
+
+// publishDelta applies one deformation step pushed as a delta: only the
+// moved local ids (owned and ghost — the cluster already translated the
+// global dirty set through the remap tables) and their new positions.
+// The sub-mesh's Deform preloads the back buffer from the front, so the
+// unmoved vertices carry over bit-exactly and the published state equals
+// a full publish of the same step by construction. Same ordering
+// contract as publish.
+func (s *Server) publishDelta(q publishDeltaReq) (epochResp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.part
+	n := p.Mesh.NumVertices()
+	if len(q.IDs) != len(q.Pos) {
+		return epochResp{}, fmt.Errorf("dist: delta publish with %d ids but %d positions for shard %d",
+			len(q.IDs), len(q.Pos), p.Index)
+	}
+	for _, l := range q.IDs {
+		if l < 0 || int(l) >= n {
+			return epochResp{}, fmt.Errorf("dist: delta publish names local vertex %d of a %d-vertex shard %d",
+				l, n, p.Index)
+		}
+	}
+	if cur := p.Mesh.Epoch(); q.Epoch != cur+1 {
+		return epochResp{}, fmt.Errorf("dist: out-of-order publish for shard %d: epoch %d after %d",
+			p.Index, q.Epoch, cur)
+	}
+	p.Mesh.Deform(func(pos []geom.Vec3) {
+		for i, l := range q.IDs {
+			pos[l] = q.Pos[i]
+		}
+	})
+	p.RefreshBox()
+	s.logDirty(dirtyLogRec{Epoch: q.Epoch, Tracked: true, Box: q.Box})
+	return epochResp{Epoch: p.Mesh.Epoch()}, nil
+}
+
+// logDirty appends one published epoch's record to the dirty log ring.
+// Caller holds s.mu.
+func (s *Server) logDirty(rec dirtyLogRec) {
+	s.log = append(s.log, rec)
+	if len(s.log) > dirtyLogCap {
+		drop := len(s.log) - dirtyLogCap
+		s.logBase = s.log[drop-1].Epoch
+		s.log = append(s.log[:0], s.log[drop:]...)
+	}
+}
+
+// dirtyLog answers an opDirtyLog request: the records covering
+// (q.From, head], oldest first. Publishes are the only epoch bumps, so
+// the log is contiguous; Complete is false when the ring wrapped past
+// q.From and the caller must treat the interval as untracked.
+func (s *Server) dirtyLog(q dirtyLogReq) dirtyLogResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := dirtyLogResp{Head: s.part.Mesh.Epoch(), Complete: q.From >= s.logBase}
+	if !resp.Complete {
+		return resp
+	}
+	for _, rec := range s.log {
+		if rec.Epoch > q.From {
+			resp.Recs = append(resp.Recs, rec)
+		}
+	}
+	return resp
 }
 
 // maintain drives the shard's maintenance target to the published head

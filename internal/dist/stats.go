@@ -1,0 +1,81 @@
+package dist
+
+import "sync/atomic"
+
+// Wire-traffic accounting (ISSUE 10): both endpoints of the protocol —
+// the Router's query side and the Cluster's control side — count every
+// completed RPC exchange per op, in payload bytes. Payload bytes (the
+// encoded messages, excluding transport framing) are what the protocol
+// itself costs, so the numbers are identical over Loopback and TCP and
+// deterministic for a seeded workload — the bench gates the delta-vs-full
+// publish win on them, and the cache tests prove a hit touched zero of
+// them.
+
+// OpStats counts one RPC op's completed exchanges at an endpoint.
+type OpStats struct {
+	// Calls is the number of completed request/response exchanges.
+	Calls int64
+	// BytesSent is the total encoded request payload bytes.
+	BytesSent int64
+	// BytesRecv is the total encoded response payload bytes.
+	BytesRecv int64
+}
+
+func (s *OpStats) add(o OpStats) {
+	s.Calls += o.Calls
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+}
+
+// WireStats is a per-op snapshot of an endpoint's wire traffic. Failed
+// attempts are not counted (the Retries counter tracks those); an
+// exchange that completed with an application error counts its request
+// bytes only.
+type WireStats struct {
+	Meta, Range, KNN, Publish, Maintain, PublishDelta, DirtyLog OpStats
+}
+
+// Total sums the per-op stats.
+func (w WireStats) Total() OpStats {
+	var t OpStats
+	for _, s := range []OpStats{w.Meta, w.Range, w.KNN, w.Publish, w.Maintain, w.PublishDelta, w.DirtyLog} {
+		t.add(s)
+	}
+	return t
+}
+
+// PublishedBytes is the request bytes of both publish forms — the
+// per-step position traffic the delta encoding exists to shrink.
+func (w WireStats) PublishedBytes() int64 {
+	return w.Publish.BytesSent + w.PublishDelta.BytesSent
+}
+
+// wireCounters is the lock-free accumulator behind WireStats.
+type wireCounters struct {
+	calls, sent, recv [numOps]atomic.Int64
+}
+
+func (c *wireCounters) record(op byte, sent, recv int) {
+	if int(op) >= numOps {
+		return
+	}
+	c.calls[op].Add(1)
+	c.sent[op].Add(int64(sent))
+	c.recv[op].Add(int64(recv))
+}
+
+func (c *wireCounters) op(op byte) OpStats {
+	return OpStats{Calls: c.calls[op].Load(), BytesSent: c.sent[op].Load(), BytesRecv: c.recv[op].Load()}
+}
+
+func (c *wireCounters) snapshot() WireStats {
+	return WireStats{
+		Meta:         c.op(opMeta),
+		Range:        c.op(opRange),
+		KNN:          c.op(opKNN),
+		Publish:      c.op(opPublish),
+		Maintain:     c.op(opMaintain),
+		PublishDelta: c.op(opPublishDelta),
+		DirtyLog:     c.op(opDirtyLog),
+	}
+}

@@ -19,11 +19,25 @@ type Transport interface {
 // Conn is one client connection. Call performs a single request/response
 // exchange: op selects the RPC, req is the encoded request, and the
 // response bytes are returned. deadline bounds the whole exchange (the
-// zero time means no deadline). Call is safe for concurrent use; calls
-// on one Conn serialize.
+// zero time means no deadline). Call is safe for concurrent use, and
+// concurrent calls pipeline: one Conn carries many in-flight exchanges
+// at once (the TCP transport tags frames with request ids and demuxes;
+// loopback calls are independent function invocations), so a slow RPC
+// never head-of-line-blocks a fast one. req is not retained after Call
+// returns — callers may reuse the buffer.
 type Conn interface {
 	Call(op byte, req []byte, deadline time.Time) ([]byte, error)
 	Close() error
+}
+
+// Handler executes one decoded-from-the-wire RPC and returns the encoded
+// response, or an application error reported to the client verbatim.
+// *Server is the production handler; the transport tests inject blocking
+// handlers to pin the multiplexing semantics down without sleeps.
+// Handle must be safe for concurrent use — the transports dispatch
+// concurrent in-flight requests concurrently.
+type Handler interface {
+	Handle(op byte, req []byte) ([]byte, error)
 }
 
 // errorf tags transport-level failures (dial, I/O, deadline, killed
@@ -57,6 +71,12 @@ type RetryPolicy struct {
 	Backoff time.Duration
 	// Deadline bounds each attempt's request/response exchange; 0 uses 2s.
 	Deadline time.Duration
+	// Pool is the number of pooled connections per shard the router
+	// round-robins its RPCs over. Concurrent RPCs already pipeline on one
+	// multiplexed connection; extra connections spread the read/write
+	// goroutine and syscall load when many concurrent queries fan out to
+	// the same shard. 0 uses 2.
+	Pool int
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -69,6 +89,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Deadline <= 0 {
 		p.Deadline = 2 * time.Second
 	}
+	if p.Pool <= 0 {
+		p.Pool = 2
+	}
 	return p
 }
 
@@ -80,20 +103,20 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // degrades honestly.
 type Loopback struct {
 	mu      sync.Mutex
-	servers map[string]*Server
+	servers map[string]Handler
 	dead    map[string]bool
 }
 
 // NewLoopback returns an empty in-process transport.
 func NewLoopback() *Loopback {
-	return &Loopback{servers: make(map[string]*Server), dead: make(map[string]bool)}
+	return &Loopback{servers: make(map[string]Handler), dead: make(map[string]bool)}
 }
 
-// Register makes srv reachable at addr.
-func (l *Loopback) Register(addr string, srv *Server) {
+// Register makes handler h (typically a *Server) reachable at addr.
+func (l *Loopback) Register(addr string, h Handler) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.servers[addr] = srv
+	l.servers[addr] = h
 }
 
 // Kill makes the server at addr unreachable until Revive.

@@ -324,6 +324,26 @@ func (part *Partition) rebuildGhostRefs() {
 	}
 }
 
+// Replica locates one copy of a global vertex in the sharded layout:
+// the shard holding it and its local id there.
+type Replica struct {
+	Shard, Local int32
+}
+
+// AppendReplicas appends every replica of global vertex g — the owning
+// copy first, then the ghost ring — to dst and returns it. This is the
+// per-vertex form of the Resync scatter plan: a publisher that knows
+// which global vertices moved uses it to translate the dirty set into
+// per-shard (local id, position) deltas without touching the unmoved
+// vertices — the distributed delta publish (DESIGN.md §16).
+func (part *Partition) AppendReplicas(g int32, dst []Replica) []Replica {
+	dst = append(dst, Replica{Shard: part.Owner[g], Local: part.LocalID[g]})
+	for _, r := range part.ghostRefs[g] {
+		dst = append(dst, Replica{Shard: r.shard, Local: r.local})
+	}
+	return dst
+}
+
 // buildPart assembles shard s from its pre-bucketed owned vertices
 // (sorted by global id) and cell list: the sub-mesh over those cells,
 // relaid out surface-first/Hilbert, plus the remap tables and cut-edge

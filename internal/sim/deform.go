@@ -177,6 +177,42 @@ func (d *CompressDeformer) Step(step int, pos []geom.Vec3) {
 	}
 }
 
+// BlobDeformer displaces only the vertices inside a ball around a
+// center that hops deterministically across the mesh every step — the
+// one deliberate exception to the move-everything rule above. It models
+// the *localized* update regime the dirty-region machinery (and the
+// distributed delta publish built on it) exists for: most steps touch a
+// small fraction of vertices, so |dirty| ≪ V. The center is picked from
+// the current positions themselves (pos[(step·7919+Seed) mod V]), so two
+// bit-identical meshes driven by the same steps deform bit-identically.
+type BlobDeformer struct {
+	// Radius is the ball radius around the step's center; vertices
+	// outside it do not move.
+	Radius float64
+	// Amplitude is the displacement magnitude of the moved vertices.
+	Amplitude float64
+	// Seed decorrelates deformers.
+	Seed int64
+}
+
+// Step implements Deformer (localized: it intentionally moves only the
+// vertices near the step's blob center).
+func (d *BlobDeformer) Step(step int, pos []geom.Vec3) {
+	if len(pos) == 0 {
+		return
+	}
+	c := pos[(uint64(step)*7919+uint64(d.Seed))%uint64(len(pos))]
+	r2 := d.Radius * d.Radius
+	for i := range pos {
+		if pos[i].Dist2(c) > r2 {
+			continue
+		}
+		s := d.Amplitude * math.Sin(float64(i)+float64(step))
+		pos[i].X += s
+		pos[i].Y -= s / 2
+	}
+}
+
 // BlendDeformer displaces vertices by a set of Gaussian bumps whose
 // amplitudes vary pseudo-randomly per step — the "facial expression" style
 // deformation: localized, smooth, unpredictable.

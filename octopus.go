@@ -245,9 +245,11 @@ func NewShardedEngine(m *Mesh, k int, factory func(*Mesh) ParallelKNNEngine) (*S
 
 // DistCluster is the serving-side harness: one shard server per shard
 // of a ShardedMesh plus the control plane that publishes deformation
-// steps (the ghost-position exchange) and drives maintenance. It
-// implements the pipeline's DeformableMesh, so a Pipeline can run over a
-// distributed engine unchanged.
+// steps (the ghost-position exchange) and drives maintenance. Localized
+// steps ship as dirty deltas — only the moved vertices cross the wire,
+// with an automatic full-publish fallback when a step moves too much
+// (see DESIGN.md §16). It implements the pipeline's DeformableMesh, so a
+// Pipeline can run over a distributed engine unchanged.
 type DistCluster = dist.Cluster
 
 // DistRouter is the stateless query tier: it caches only routing
@@ -265,6 +267,25 @@ type DistEngine = dist.Engine
 // DistRetryPolicy bounds the router's per-RPC deadline and retry
 // behavior; the zero value uses the defaults.
 type DistRetryPolicy = dist.RetryPolicy
+
+// DistWireStats is a per-op snapshot of one endpoint's wire traffic in
+// payload bytes (transport framing excluded, so the numbers agree across
+// loopback and TCP). Read it with DistRouter.WireStats (query side) or
+// DistCluster.WireStats (publish/maintenance side); PublishedBytes sums
+// the per-step position traffic the delta encoding shrinks.
+type DistWireStats = dist.WireStats
+
+// DistOpStats counts one RPC op's completed exchanges within a
+// DistWireStats snapshot: calls, request bytes sent, response bytes
+// received.
+type DistOpStats = dist.OpStats
+
+// DistCacheStats reports the router-side result cache's counters —
+// hits, misses, dirty-region invalidations and epoch flushes. Enable the
+// cache with DistRouter.EnableCache (hits answer repeat queries with
+// zero network traffic), keep it coherent across published steps with
+// DistRouter.SyncCache, and read the counters with DistRouter.CacheStats.
+type DistCacheStats = query.CacheStats
 
 // NewDistCluster builds one shard server per shard of sm with engines
 // from factory; serve it with ServeTCP (real sockets) or ServeLoopback.
